@@ -1,0 +1,28 @@
+//! # jm-apps
+//!
+//! The four macro-benchmark applications of the paper's §4, written in MDP
+//! assembly against the `jm-runtime` libraries, plus host-side reference
+//! implementations used to validate every run:
+//!
+//! * [`lcs`] — Longest Common Subsequence, systolic, one message per
+//!   character of the second string (assembly in the paper);
+//! * [`radix`] — Radix Sort, 4 bits per pass, counts combined with a
+//!   hypercube vector scan and values scattered with 3-word remote-write
+//!   messages (Tuned J in the paper);
+//! * [`nqueens`] — N-Queens with breadth-first task expansion followed by
+//!   local depth-first search (Tuned J in the paper);
+//! * [`tsp`] — Traveling Salesperson on a COSMOS-lite object runtime:
+//!   xlate-mediated object access, bound broadcast, periodic suspension,
+//!   and work-requesting (Concurrent Smalltalk in the paper).
+//!
+//! Every module exposes `program`/`setup`/`run` plus a host `reference`
+//! function; `run` validates the machine's answer against the reference
+//! before returning statistics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lcs;
+pub mod nqueens;
+pub mod radix;
+pub mod tsp;

@@ -1,0 +1,666 @@
+//! Text assembly parser.
+//!
+//! Line-oriented syntax; `;` starts a comment. Example:
+//!
+//! ```text
+//! .equ K 3
+//! .reserve imem counter 1
+//! .data emem table 1 2 0x10 cfut
+//! .entry main
+//!
+//! main:
+//!     MOVE A0, seg(counter)
+//!     MOVE R0, #0
+//! loop:
+//!     ADD R0, R0, #1
+//!     LT R1, R0, cst(K)
+//!     BT R1, loop
+//!     MOVE [A0+0], R0
+//!     SEND.0 NNR
+//!     SEND2E.0 hdr(main,2), R0
+//!     HALT
+//! ```
+//!
+//! Operand forms: `R0`–`R3`, `A0`–`A3`, `#imm` (`#5`, `#-3`, `#0x1f`,
+//! `#cfut`, `#nil`, `#true`, `#false`), memory `[A2+4]` / `[A2+R1]`,
+//! special registers (`NNR`, `NID`, `NNODES`, `DIMS`, `CYCLE`, `FIP`,
+//! `FVAL`, `FADDR`), label references `@name` (an `ip` immediate),
+//! `hdr(name,len)`, `seg(name)`, `base(name)`, `len(name)`, `cst(name)`,
+//! and bare label names as branch targets.
+
+use crate::builder::{cst, hdr, lab, seg, seg_base, seg_len, Builder, PSrc, Region};
+use crate::error::AsmError;
+use crate::program::Program;
+use jm_isa::instr::{Alu1Op, AluOp, MsgPriority, StatClass};
+use jm_isa::operand::{Dst, MemRef, Special};
+use jm_isa::reg::{AReg, DReg};
+use jm_isa::tag::Tag;
+use jm_isa::word::Word;
+
+/// Parses a textual assembly program and assembles it.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the 1-based line number for syntax
+/// errors, or an assembly error (unknown symbols, duplicate labels, …).
+pub fn parse(source: &str) -> Result<Program, AsmError> {
+    let mut builder = Builder::new();
+    for (line_index, raw_line) in source.lines().enumerate() {
+        let line_no = line_index + 1;
+        parse_line(&mut builder, raw_line, line_no)?;
+    }
+    builder.assemble()
+}
+
+fn parse_line(b: &mut Builder, raw: &str, line_no: usize) -> Result<(), AsmError> {
+    let line = match raw.find(';') {
+        Some(i) => &raw[..i],
+        None => raw,
+    };
+    let mut rest = line.trim();
+    if rest.is_empty() {
+        return Ok(());
+    }
+    // Leading labels: `name:`.
+    while let Some(colon) = rest.find(':') {
+        let candidate = rest[..colon].trim();
+        if candidate.is_empty() || !is_ident(candidate) {
+            break;
+        }
+        // A colon inside an operand list would follow a mnemonic with
+        // spaces; only treat as label when the prefix is a lone identifier.
+        b.label(candidate);
+        rest = rest[colon + 1..].trim();
+        if rest.is_empty() {
+            return Ok(());
+        }
+    }
+    if rest.starts_with('.') {
+        return parse_directive(b, rest, line_no);
+    }
+    parse_instruction(b, rest, line_no)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn parse_region(token: &str, line_no: usize) -> Result<Region, AsmError> {
+    match token.to_ascii_lowercase().as_str() {
+        "imem" => Ok(Region::Imem),
+        "emem" => Ok(Region::Emem),
+        other => Err(AsmError::at_line(line_no, format!("bad region `{other}`"))),
+    }
+}
+
+fn parse_int(token: &str, line_no: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError::at_line(line_no, format!("bad integer `{token}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_word_literal(token: &str, line_no: usize) -> Result<Word, AsmError> {
+    match token.to_ascii_lowercase().as_str() {
+        "cfut" => return Ok(Word::cfut()),
+        "nil" => return Ok(Word::NIL),
+        "true" => return Ok(Word::bool(true)),
+        "false" => return Ok(Word::bool(false)),
+        _ => {}
+    }
+    let value = parse_int(token, line_no)?;
+    i32::try_from(value)
+        .map(Word::int)
+        .map_err(|_| AsmError::at_line(line_no, format!("integer `{token}` out of range")))
+}
+
+fn parse_directive(b: &mut Builder, rest: &str, line_no: usize) -> Result<(), AsmError> {
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    match tokens[0].to_ascii_lowercase().as_str() {
+        ".equ" => {
+            if tokens.len() != 3 {
+                return Err(AsmError::at_line(line_no, ".equ needs: name value"));
+            }
+            let word = parse_word_literal(tokens[2], line_no)?;
+            b.equ(tokens[1], word);
+        }
+        ".data" => {
+            if tokens.len() < 3 {
+                return Err(AsmError::at_line(line_no, ".data needs: region name words…"));
+            }
+            let region = parse_region(tokens[1], line_no)?;
+            let words = tokens[3..]
+                .iter()
+                .map(|t| parse_word_literal(t, line_no))
+                .collect::<Result<Vec<_>, _>>()?;
+            if words.is_empty() {
+                return Err(AsmError::at_line(line_no, ".data needs at least one word"));
+            }
+            b.data(tokens[2], region, words);
+        }
+        ".reserve" => {
+            if tokens.len() != 4 {
+                return Err(AsmError::at_line(line_no, ".reserve needs: region name len"));
+            }
+            let region = parse_region(tokens[1], line_no)?;
+            let len = parse_int(tokens[3], line_no)?;
+            let len = u32::try_from(len)
+                .map_err(|_| AsmError::at_line(line_no, "negative reserve length"))?;
+            b.reserve(tokens[2], region, len);
+        }
+        ".entry" => {
+            if tokens.len() != 2 {
+                return Err(AsmError::at_line(line_no, ".entry needs a label"));
+            }
+            b.entry(tokens[1]);
+        }
+        other => {
+            return Err(AsmError::at_line(
+                line_no,
+                format!("unknown directive `{other}`"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    // Split on commas that are not inside parentheses or brackets.
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in rest.chars() {
+        match c {
+            '(' | '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' | ']' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out
+}
+
+fn parse_dreg(token: &str) -> Option<DReg> {
+    match token.to_ascii_uppercase().as_str() {
+        "R0" => Some(DReg::R0),
+        "R1" => Some(DReg::R1),
+        "R2" => Some(DReg::R2),
+        "R3" => Some(DReg::R3),
+        _ => None,
+    }
+}
+
+fn parse_areg(token: &str) -> Option<AReg> {
+    match token.to_ascii_uppercase().as_str() {
+        "A0" => Some(AReg::A0),
+        "A1" => Some(AReg::A1),
+        "A2" => Some(AReg::A2),
+        "A3" => Some(AReg::A3),
+        _ => None,
+    }
+}
+
+fn parse_special(token: &str) -> Option<Special> {
+    match token.to_ascii_uppercase().as_str() {
+        "NNR" => Some(Special::Nnr),
+        "NID" => Some(Special::Nid),
+        "NNODES" => Some(Special::NNodes),
+        "DIMS" => Some(Special::Dims),
+        "CYCLE" => Some(Special::Cycle),
+        "FIP" => Some(Special::Fip),
+        "FVAL" => Some(Special::FVal),
+        "FADDR" => Some(Special::FAddr),
+        _ => None,
+    }
+}
+
+fn parse_mem(token: &str, line_no: usize) -> Result<MemRef, AsmError> {
+    let inner = token
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| AsmError::at_line(line_no, format!("bad memory operand `{token}`")))?;
+    let (base_str, idx_str) = inner
+        .split_once('+')
+        .ok_or_else(|| AsmError::at_line(line_no, format!("memory operand needs `+`: `{token}`")))?;
+    let base = parse_areg(base_str.trim())
+        .ok_or_else(|| AsmError::at_line(line_no, format!("bad base register `{base_str}`")))?;
+    let idx_str = idx_str.trim();
+    if let Some(reg) = parse_dreg(idx_str) {
+        Ok(MemRef::reg(base, reg))
+    } else {
+        let disp = parse_int(idx_str, line_no)?;
+        let disp = u32::try_from(disp)
+            .map_err(|_| AsmError::at_line(line_no, "negative displacement"))?;
+        Ok(MemRef::disp(base, disp))
+    }
+}
+
+fn call_arg<'a>(token: &'a str, name: &str) -> Option<&'a str> {
+    token
+        .strip_prefix(name)?
+        .strip_prefix('(')?
+        .strip_suffix(')')
+}
+
+fn parse_psrc(token: &str, line_no: usize) -> Result<PSrc, AsmError> {
+    if let Some(reg) = parse_dreg(token) {
+        return Ok(reg.into());
+    }
+    if let Some(reg) = parse_areg(token) {
+        return Ok(reg.into());
+    }
+    if let Some(sp) = parse_special(token) {
+        return Ok(sp.into());
+    }
+    if let Some(imm) = token.strip_prefix('#') {
+        return Ok(parse_word_literal(imm, line_no)?.into());
+    }
+    if token.starts_with('[') {
+        return Ok(parse_mem(token, line_no)?.into());
+    }
+    if let Some(label) = token.strip_prefix('@') {
+        return Ok(lab(label));
+    }
+    if let Some(args) = call_arg(token, "hdr") {
+        let (name, len) = args.split_once(',').ok_or_else(|| {
+            AsmError::at_line(line_no, format!("hdr needs (label,len): `{token}`"))
+        })?;
+        let len = parse_int(len.trim(), line_no)?;
+        let len = u32::try_from(len)
+            .map_err(|_| AsmError::at_line(line_no, "negative message length"))?;
+        return Ok(hdr(name.trim(), len));
+    }
+    if let Some(name) = call_arg(token, "seg") {
+        return Ok(seg(name.trim()));
+    }
+    if let Some(name) = call_arg(token, "base") {
+        return Ok(seg_base(name.trim()));
+    }
+    if let Some(name) = call_arg(token, "len") {
+        return Ok(seg_len(name.trim()));
+    }
+    if let Some(name) = call_arg(token, "cst") {
+        return Ok(cst(name.trim()));
+    }
+    Err(AsmError::at_line(
+        line_no,
+        format!("cannot parse operand `{token}`"),
+    ))
+}
+
+fn parse_dst(token: &str, line_no: usize) -> Result<Dst, AsmError> {
+    if let Some(reg) = parse_dreg(token) {
+        return Ok(Dst::D(reg));
+    }
+    if let Some(reg) = parse_areg(token) {
+        return Ok(Dst::A(reg));
+    }
+    if token.starts_with('[') {
+        return Ok(Dst::Mem(parse_mem(token, line_no)?));
+    }
+    Err(AsmError::at_line(
+        line_no,
+        format!("cannot parse destination `{token}`"),
+    ))
+}
+
+fn parse_tag_name(token: &str, line_no: usize) -> Result<Tag, AsmError> {
+    for tag in Tag::ALL {
+        if tag.to_string().eq_ignore_ascii_case(token) {
+            return Ok(tag);
+        }
+    }
+    Err(AsmError::at_line(line_no, format!("unknown tag `{token}`")))
+}
+
+fn parse_stat_class(token: &str, line_no: usize) -> Result<StatClass, AsmError> {
+    for class in StatClass::ALL {
+        if class.label().eq_ignore_ascii_case(token) {
+            return Ok(class);
+        }
+    }
+    Err(AsmError::at_line(
+        line_no,
+        format!("unknown stat class `{token}`"),
+    ))
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    AluOp::ALL
+        .into_iter()
+        .find(|op| op.mnemonic().eq_ignore_ascii_case(mnemonic))
+}
+
+fn alu1_op(mnemonic: &str) -> Option<Alu1Op> {
+    Alu1Op::ALL
+        .into_iter()
+        .find(|op| op.mnemonic().eq_ignore_ascii_case(mnemonic))
+}
+
+fn parse_instruction(b: &mut Builder, rest: &str, line_no: usize) -> Result<(), AsmError> {
+    let (mnemonic, operand_str) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    let ops = split_operands(operand_str);
+    let arity = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::at_line(
+                line_no,
+                format!("{mnemonic} expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+    let upper = mnemonic.to_ascii_uppercase();
+
+    // SEND family: SEND.0, SEND2.1, SENDE.0, SEND2E.1 …
+    if let Some((head, prio)) = upper.split_once('.') {
+        let priority = match prio {
+            "0" => MsgPriority::P0,
+            "1" => MsgPriority::P1,
+            other => {
+                return Err(AsmError::at_line(
+                    line_no,
+                    format!("bad send priority `{other}`"),
+                ))
+            }
+        };
+        let (two, end) = match head {
+            "SEND" => (false, false),
+            "SEND2" => (true, false),
+            "SENDE" => (false, true),
+            "SEND2E" => (true, true),
+            other => {
+                return Err(AsmError::at_line(
+                    line_no,
+                    format!("unknown mnemonic `{other}.{prio}`"),
+                ))
+            }
+        };
+        if two {
+            arity(2)?;
+            let a = parse_psrc(&ops[0], line_no)?;
+            let bb = parse_psrc(&ops[1], line_no)?;
+            if end {
+                b.send2e(priority, a, bb);
+            } else {
+                b.send2(priority, a, bb);
+            }
+        } else {
+            arity(1)?;
+            let a = parse_psrc(&ops[0], line_no)?;
+            if end {
+                b.sende(priority, a);
+            } else {
+                b.send(priority, a);
+            }
+        }
+        return Ok(());
+    }
+
+    if let Some(op) = alu_op(&upper) {
+        arity(3)?;
+        let dst = parse_dst(&ops[0], line_no)?;
+        let a = parse_psrc(&ops[1], line_no)?;
+        let bb = parse_psrc(&ops[2], line_no)?;
+        b.alu(op, dst, a, bb);
+        return Ok(());
+    }
+    if let Some(op) = alu1_op(&upper) {
+        arity(2)?;
+        let dst = parse_dst(&ops[0], line_no)?;
+        let src = parse_psrc(&ops[1], line_no)?;
+        b.alu1(op, dst, src);
+        return Ok(());
+    }
+
+    match upper.as_str() {
+        "MOVE" => {
+            arity(2)?;
+            let dst = parse_dst(&ops[0], line_no)?;
+            let src = parse_psrc(&ops[1], line_no)?;
+            b.mov(dst, src);
+        }
+        "BR" => {
+            arity(1)?;
+            b.br(ops[0].as_str());
+        }
+        "BT" | "BF" | "BZ" | "BNZ" => {
+            arity(2)?;
+            let src = parse_psrc(&ops[0], line_no)?;
+            match upper.as_str() {
+                "BT" => b.bt(src, ops[1].as_str()),
+                "BF" => b.bf(src, ops[1].as_str()),
+                "BZ" => b.bz(src, ops[1].as_str()),
+                _ => b.bnz(src, ops[1].as_str()),
+            };
+        }
+        "JMP" => {
+            arity(1)?;
+            let target = parse_psrc(&ops[0], line_no)?;
+            b.jmp(target);
+        }
+        "JAL" => {
+            arity(2)?;
+            let link = parse_dreg(&ops[0])
+                .ok_or_else(|| AsmError::at_line(line_no, "JAL link must be a data register"))?;
+            b.jal(link, ops[1].as_str());
+        }
+        "CALL" => {
+            arity(1)?;
+            b.call(ops[0].as_str());
+        }
+        "RET" => {
+            arity(0)?;
+            b.ret();
+        }
+        "SUSPEND" => {
+            arity(0)?;
+            b.suspend();
+        }
+        "RESUME" => {
+            arity(0)?;
+            b.resume();
+        }
+        "RTAG" => {
+            arity(2)?;
+            let dst = parse_dst(&ops[0], line_no)?;
+            let src = parse_psrc(&ops[1], line_no)?;
+            b.rtag(dst, src);
+        }
+        "WTAG" => {
+            arity(3)?;
+            let dst = parse_dst(&ops[0], line_no)?;
+            let src = parse_psrc(&ops[1], line_no)?;
+            let tag = parse_psrc(&ops[2], line_no)?;
+            b.wtag(dst, src, tag);
+        }
+        "CHECK" => {
+            arity(3)?;
+            let dst = parse_dst(&ops[0], line_no)?;
+            let src = parse_psrc(&ops[1], line_no)?;
+            let tag = parse_tag_name(&ops[2], line_no)?;
+            b.check(dst, src, tag);
+        }
+        "ENTER" => {
+            arity(2)?;
+            let key = parse_psrc(&ops[0], line_no)?;
+            let value = parse_psrc(&ops[1], line_no)?;
+            b.enter(key, value);
+        }
+        "XLATE" => {
+            arity(2)?;
+            let dst = parse_dst(&ops[0], line_no)?;
+            let key = parse_psrc(&ops[1], line_no)?;
+            b.xlate(dst, key);
+        }
+        "PROBE" => {
+            arity(2)?;
+            let dst = parse_dst(&ops[0], line_no)?;
+            let key = parse_psrc(&ops[1], line_no)?;
+            b.probe(dst, key);
+        }
+        "MARK" => {
+            arity(1)?;
+            let class = parse_stat_class(&ops[0], line_no)?;
+            b.mark(class);
+        }
+        "HALT" => {
+            arity(0)?;
+            b.halt();
+        }
+        "NOP" => {
+            arity(0)?;
+            b.nop();
+        }
+        other => {
+            return Err(AsmError::at_line(
+                line_no,
+                format!("unknown mnemonic `{other}`"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jm_isa::instr::Instruction;
+    use jm_isa::operand::Src;
+
+    #[test]
+    fn parses_the_module_example() {
+        let src = r#"
+.equ K 3
+.reserve imem counter 1
+.data emem table 1 2 0x10 cfut
+.entry main
+
+main:
+    MOVE A0, seg(counter)
+    MOVE R0, #0
+loop:
+    ADD R0, R0, #1
+    LT R1, R0, cst(K)
+    BT R1, loop
+    MOVE [A0+0], R0
+    SEND.0 NNR
+    SEND2E.0 hdr(main,2), R0
+    HALT
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.entry, Some(p.handler("main")));
+        assert_eq!(p.code.len(), 9);
+        let table = p.segment("table");
+        assert_eq!(table.len, 4);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("NOP\nBOGUS R0\n").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(err.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse("MOVE R0, [A3+2]\nMOVE [A0+R1], R0\nHALT\n").unwrap();
+        assert!(matches!(p.code[0], Instruction::Move { .. }));
+        assert_eq!(p.code.len(), 3);
+    }
+
+    #[test]
+    fn parses_send_priorities() {
+        let p = parse("SEND.1 R0\nSEND2E.0 R0, R1\n").unwrap();
+        match p.code[0] {
+            Instruction::Send { priority, end, .. } => {
+                assert_eq!(priority, MsgPriority::P1);
+                assert!(!end);
+            }
+            ref other => panic!("unexpected {other}"),
+        }
+        match p.code[1] {
+            Instruction::Send {
+                priority, end, b, ..
+            } => {
+                assert_eq!(priority, MsgPriority::P0);
+                assert!(end);
+                assert!(b.is_some());
+            }
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_tag_and_mark_names() {
+        let p = parse("CHECK R0, R1, cfut\nMARK comm\nHALT\n").unwrap();
+        match p.code[0] {
+            Instruction::Check { tag, .. } => assert_eq!(tag, Tag::CFut),
+            ref other => panic!("unexpected {other}"),
+        }
+        match p.code[1] {
+            Instruction::Mark { class } => assert_eq!(class, StatClass::Comm),
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse("ADD R0, R1\n").is_err());
+        assert!(parse("HALT R0\n").is_err());
+    }
+
+    #[test]
+    fn labels_on_their_own_line() {
+        let p = parse("start:\n  NOP\n  BR start\n").unwrap();
+        assert_eq!(p.handler("start"), 0);
+        match p.code[1] {
+            Instruction::Br { off } => assert_eq!(off, -2),
+            ref other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = parse("MOVE R0, #-5\nMOVE R1, #0xff\nHALT\n").unwrap();
+        match (&p.code[0], &p.code[1]) {
+            (
+                Instruction::Move {
+                    src: Src::Imm(a), ..
+                },
+                Instruction::Move {
+                    src: Src::Imm(b), ..
+                },
+            ) => {
+                assert_eq!(a.as_i32(), -5);
+                assert_eq!(b.as_i32(), 255);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion wrappers around scaled-down experiment kernels, so `cargo
+//! bench` exercises each table/figure path end to end and tracks host-side
+//! regression of the harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn micro_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig2_point", |b| {
+        b.iter(|| jm_bench::micro::latency::measure(8).expect("fig2"));
+    });
+    group.bench_function("table1_overhead", |b| {
+        b.iter(|| jm_bench::micro::overhead::measure().expect("table1"));
+    });
+    group.bench_function("fig3_point_64n", |b| {
+        b.iter(|| {
+            jm_bench::micro::load::measure_point(64, 4, 100, 1_000, 5_000).expect("fig3")
+        });
+    });
+    group.bench_function("fig4_point", |b| {
+        b.iter(|| {
+            jm_bench::micro::bandwidth::measure_point(
+                8,
+                jm_bench::micro::bandwidth::Sink::Discard,
+                1_000,
+                5_000,
+            )
+            .expect("fig4")
+        });
+    });
+    group.bench_function("table2_sync", |b| {
+        b.iter(|| jm_bench::micro::sync::measure().expect("table2"));
+    });
+    group.bench_function("table3_barrier_16n", |b| {
+        b.iter(|| jm_bench::micro::barrier::measure_point(16, 2).expect("table3"));
+    });
+    group.finish();
+}
+
+fn macro_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps");
+    group.sample_size(10);
+    let problems = jm_bench::macrob::Problems {
+        lcs: jm_apps::lcs::LcsConfig {
+            a_len: 64,
+            b_len: 128,
+            seed: 1,
+            alphabet: 4,
+        },
+        radix: jm_apps::radix::RadixConfig { keys: 128, seed: 2 },
+        nqueens: jm_apps::nqueens::NqConfig {
+            n: 6,
+            expand_depth: None,
+        },
+        tsp: jm_apps::tsp::TspConfig {
+            cities: 6,
+            seed: 3,
+            task_depth: None,
+            yield_every: 16,
+        },
+    };
+    for app in jm_bench::macrob::App::ALL {
+        group.bench_function(app.name(), |b| {
+            b.iter(|| jm_bench::macrob::run_app(app, 8, &problems).expect("app run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro_experiments, macro_experiments);
+criterion_main!(benches);

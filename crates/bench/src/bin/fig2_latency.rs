@@ -1,0 +1,12 @@
+//! Reproduces Figure 2: round-trip latency vs distance.
+//!
+//! Usage: `fig2_latency [nodes]` (default 512).
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let curves = jm_bench::micro::latency::measure(nodes).expect("fig2 run");
+    print!("{}", jm_bench::micro::latency::render(&curves));
+}

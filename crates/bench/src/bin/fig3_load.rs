@@ -1,0 +1,19 @@
+//! Reproduces Figure 3: latency vs bisection traffic and efficiency vs
+//! grain size.
+//!
+//! Usage: `fig3_load [nodes]` (default 512; use 64 for a quick look).
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let lengths = [2u32, 4, 8, 16];
+    let idles = [0u32, 50, 150, 400, 1000, 3000];
+    let points = jm_bench::micro::load::measure(nodes, &lengths, &idles, 3_000, 20_000)
+        .expect("fig3 run");
+    let capacity = jm_net::NetConfig::new(jm_isa::MeshDims::for_nodes(nodes))
+        .bisection_capacity_bits()
+        / 1e6;
+    print!("{}", jm_bench::micro::load::render(nodes, &points, capacity));
+}

@@ -1,0 +1,15 @@
+//! Reproduces Figure 5: application speedup vs machine size.
+//!
+//! Usage: `fig5_speedup [max_nodes]` (default 64; the paper runs to 512 —
+//! pass 256 or 512 for the longer sweep).
+
+fn main() {
+    let max: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let sizes: Vec<u32> = (0..=9).map(|k| 1u32 << k).filter(|&n| n <= max).collect();
+    let problems = jm_bench::macrob::Problems::evaluation();
+    let results = jm_bench::macrob::fig5(&sizes, &problems).expect("fig5 run");
+    print!("{}", jm_bench::macrob::render_fig5(&results));
+}

@@ -1,0 +1,16 @@
+//! Reproduces Figure 6: breakdown of time by function on 64 nodes.
+//!
+//! Usage: `fig6_breakdown [nodes]` (default 64).
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let problems = jm_bench::macrob::Problems::evaluation();
+    let runs: Vec<_> = jm_bench::macrob::App::ALL
+        .iter()
+        .map(|&app| jm_bench::macrob::run_app(app, nodes, &problems).expect("fig6 run"))
+        .collect();
+    print!("{}", jm_bench::macrob::render_fig6(&runs));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Table 1: one-way message overhead.
+
+fn main() {
+    let measured = jm_bench::micro::overhead::measure().expect("table1 run");
+    print!("{}", jm_bench::micro::overhead::render(&measured));
+}

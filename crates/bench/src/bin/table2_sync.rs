@@ -1,0 +1,6 @@
+//! Reproduces Table 2: producer-consumer synchronization costs.
+
+fn main() {
+    let costs = jm_bench::micro::sync::measure().expect("table2 run");
+    print!("{}", jm_bench::micro::sync::render(&costs));
+}

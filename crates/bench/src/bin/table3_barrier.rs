@@ -1,0 +1,13 @@
+//! Reproduces Table 3: barrier synchronization vs machine size.
+//!
+//! Usage: `table3_barrier [max_nodes]` (default 512).
+
+fn main() {
+    let max: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let sizes: Vec<u32> = (1..=9).map(|k| 1u32 << k).filter(|&n| n <= max).collect();
+    let points = jm_bench::micro::barrier::measure(&sizes, 8).expect("table3 run");
+    print!("{}", jm_bench::micro::barrier::render(&points));
+}

@@ -1,0 +1,18 @@
+//! Reproduces Table 4: per-thread application statistics on 64 nodes.
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let problems = jm_bench::macrob::Problems::evaluation();
+    let runs: Vec<_> = [
+        jm_bench::macrob::App::Lcs,
+        jm_bench::macrob::App::NQueens,
+        jm_bench::macrob::App::Radix,
+    ]
+    .iter()
+    .map(|&app| jm_bench::macrob::run_app(app, nodes, &problems).expect("table4 run"))
+    .collect();
+    print!("{}", jm_bench::macrob::render_table4(&runs));
+}

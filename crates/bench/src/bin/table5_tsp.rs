@@ -1,0 +1,12 @@
+//! Reproduces Table 5: the major components of cost for TSP on 64 nodes.
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let problems = jm_bench::macrob::Problems::evaluation();
+    let run =
+        jm_bench::macrob::run_app(jm_bench::macrob::App::Tsp, nodes, &problems).expect("table5");
+    print!("{}", jm_bench::macrob::render_table5(&run));
+}

@@ -1,0 +1,26 @@
+//! # jm-bench
+//!
+//! The experiment harness: one module (and one binary) per table and figure
+//! of the paper's evaluation. Each experiment builds the measurement
+//! program with `jm-asm`/`jm-runtime`, runs it on a simulated machine, and
+//! prints the same rows/series the paper reports, alongside the paper's
+//! own numbers for comparison.
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`micro::latency`] | Figure 2 — round-trip latency vs. distance |
+//! | [`micro::overhead`] | Table 1 — one-way message overhead |
+//! | [`micro::load`] | Figure 3 — latency vs. load, efficiency vs. grain |
+//! | [`micro::bandwidth`] | Figure 4 — terminal bandwidth vs. message size |
+//! | [`micro::sync`] | Table 2 — producer/consumer synchronization |
+//! | [`micro::barrier`] | Table 3 — barrier synchronization |
+//! | [`macrob`] | Figures 5 & 6, Tables 4 & 5 — the four applications |
+//! | [`baselines`] | comparison columns for other machines (published data) |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod macrob;
+pub mod micro;
+pub mod table;

@@ -1,0 +1,259 @@
+//! Figure 2: round-trip latency of a null RPC vs. distance and transfer.
+//!
+//! Node 0 (a corner of the mesh) timestamps a request/reply exchange with a
+//! node at each distance along an X-then-Y-then-Z walk, for five transfer
+//! kinds: a 2-word ping with a 1-word ack, and remote reads of 1 or 6 words
+//! from internal or external memory.
+
+use crate::table::TextTable;
+use jm_asm::{Builder, Program};
+use jm_isa::instr::{AluOp, MsgPriority::P0};
+use jm_isa::node::{Coord, MeshDims, NodeId, RouteWord};
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_machine::{JMachine, MachineConfig, MachineError, StartPolicy};
+use jm_runtime::rpc;
+
+/// The five curves of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcKind {
+    /// 2-word request, 1-word acknowledgement.
+    Ping,
+    /// Remote read of 1 word from internal memory (reply: 2 words).
+    Read1Imem,
+    /// Remote read of 1 word from external memory.
+    Read1Emem,
+    /// Remote read of 6 words from internal memory (reply: 7 words).
+    Read6Imem,
+    /// Remote read of 6 words from external memory.
+    Read6Emem,
+}
+
+impl RpcKind {
+    /// All curves, in the figure's legend order.
+    pub const ALL: [RpcKind; 5] = [
+        RpcKind::Ping,
+        RpcKind::Read1Imem,
+        RpcKind::Read1Emem,
+        RpcKind::Read6Imem,
+        RpcKind::Read6Emem,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RpcKind::Ping => "Ping",
+            RpcKind::Read1Imem => "Read 1 (Imem)",
+            RpcKind::Read1Emem => "Read 1 (Emem)",
+            RpcKind::Read6Imem => "Read 6 (Imem)",
+            RpcKind::Read6Emem => "Read 6 (Emem)",
+        }
+    }
+}
+
+/// One curve: `(hops, round-trip cycles)` points.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Which transfer.
+    pub kind: RpcKind,
+    /// Measured points.
+    pub points: Vec<(u32, u64)>,
+}
+
+impl Curve {
+    /// Points at one hop or more. The 0-hop self-exchange serializes the
+    /// requester, the handler, and the loopback on a single processor, so
+    /// (as in the paper, which reports it separately as the "ping itself"
+    /// base case) it is excluded from the distance fit.
+    fn remote_points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points
+            .iter()
+            .filter(|(h, _)| *h >= 1)
+            .map(|(h, c)| (f64::from(*h), *c as f64))
+    }
+
+    /// Least-squares slope in cycles/hop over remote points (paper: 2).
+    pub fn slope(&self) -> f64 {
+        let n = self.remote_points().count() as f64;
+        let sx: f64 = self.remote_points().map(|(h, _)| h).sum();
+        let sy: f64 = self.remote_points().map(|(_, c)| c).sum();
+        let sxx: f64 = self.remote_points().map(|(h, _)| h * h).sum();
+        let sxy: f64 = self.remote_points().map(|(h, c)| h * c).sum();
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    }
+
+    /// Extrapolated zero-distance latency of the remote fit.
+    pub fn base(&self) -> f64 {
+        let n = self.remote_points().count() as f64;
+        let sx: f64 = self.remote_points().map(|(h, _)| h).sum();
+        let sy: f64 = self.remote_points().map(|(_, c)| c).sum();
+        sy / n - self.slope() * sx / n
+    }
+}
+
+fn program(kind: RpcKind) -> Program {
+    let mut b = Builder::new();
+    b.data(
+        "f2_p",
+        jm_asm::Region::Imem,
+        vec![jm_isa::Word::int(0); 2],
+    );
+    b.label("main");
+    b.load_seg(A0, "f2_p");
+    b.load_seg(A1, rpc::FLAG);
+    b.mov(MemRef::disp(A1, 0), 0);
+    b.mov(R2, Special::Cycle);
+    match kind {
+        RpcKind::Ping => {
+            b.send(P0, MemRef::disp(A0, 0));
+            b.send2e(P0, jm_asm::hdr("rpc_ping", 2), Special::Nnr);
+        }
+        RpcKind::Read1Imem | RpcKind::Read1Emem => {
+            let src = if kind == RpcKind::Read1Imem {
+                rpc::SRC_IMEM
+            } else {
+                rpc::SRC_EMEM
+            };
+            b.send(P0, MemRef::disp(A0, 0));
+            b.send2(P0, jm_asm::hdr("rpc_read1", 3), jm_asm::seg(src));
+            b.sende(P0, Special::Nnr);
+        }
+        RpcKind::Read6Imem | RpcKind::Read6Emem => {
+            let src = if kind == RpcKind::Read6Imem {
+                rpc::SRC_IMEM
+            } else {
+                rpc::SRC_EMEM
+            };
+            b.send(P0, MemRef::disp(A0, 0));
+            b.send2(P0, jm_asm::hdr("rpc_read6", 3), jm_asm::seg(src));
+            b.sende(P0, Special::Nnr);
+        }
+    }
+    b.label("wait");
+    b.mov(R1, MemRef::disp(A1, 0));
+    b.bz(R1, "wait");
+    b.mov(R3, Special::Cycle);
+    b.alu(AluOp::Sub, R3, R3, R2);
+    b.mov(MemRef::disp(A0, 1), R3);
+    b.halt();
+    b.entry("main");
+    rpc::install(&mut b);
+    b.assemble().expect("fig2 assembles")
+}
+
+/// Target coordinate at `hops` from the origin corner: walk X, then Y,
+/// then Z.
+fn target_at(dims: MeshDims, hops: u32) -> Coord {
+    let max = u32::from(dims.x - 1) + u32::from(dims.y - 1) + u32::from(dims.z - 1);
+    assert!(hops <= max, "distance {hops} exceeds machine diameter {max}");
+    let x = hops.min(u32::from(dims.x - 1));
+    let rest = hops - x;
+    let y = rest.min(u32::from(dims.y - 1));
+    let z = rest - y;
+    Coord::new(x as u8, y as u8, z as u8)
+}
+
+/// Runs Figure 2 on a machine of `nodes` nodes, measuring every distance
+/// from 0 to the diameter.
+///
+/// # Errors
+///
+/// Propagates machine failures.
+pub fn measure(nodes: u32) -> Result<Vec<Curve>, MachineError> {
+    let dims = MeshDims::for_nodes(nodes);
+    let diameter = u32::from(dims.x - 1) + u32::from(dims.y - 1) + u32::from(dims.z - 1);
+    let mut curves = Vec::new();
+    for kind in RpcKind::ALL {
+        let mut points = Vec::new();
+        for hops in 0..=diameter {
+            let p = program(kind);
+            let param = p.segment("f2_p");
+            let mut m = JMachine::new(
+                p,
+                MachineConfig::with_dims(dims).start(StartPolicy::Node0),
+            );
+            let target = target_at(dims, hops);
+            m.write_word(
+                NodeId(0),
+                param.base,
+                RouteWord::new(target).to_word(),
+            );
+            m.run_until_quiescent(1_000_000)?;
+            let cycles = m.read_word(NodeId(0), param.base + 1).as_i32() as u64;
+            points.push((hops, cycles));
+        }
+        curves.push(Curve { kind, points });
+    }
+    Ok(curves)
+}
+
+/// Renders the measured curves with paper comparisons.
+pub fn render(curves: &[Curve]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 2: round-trip latency (cycles) vs distance (hops)\n\n");
+    let mut header = vec!["hops".to_string()];
+    for c in curves {
+        header.push(c.kind.name().to_string());
+    }
+    let mut table = TextTable::new(header);
+    let max_h = curves[0].points.len();
+    for i in 0..max_h {
+        let mut row = vec![curves[0].points[i].0.to_string()];
+        for c in curves {
+            row.push(c.points[i].1.to_string());
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    for c in curves {
+        out.push_str(&format!(
+            "{:<14} slope {:.2} cyc/hop (paper: 2.0), base {:.0} cycles\n",
+            c.kind.name(),
+            c.slope(),
+            c.base()
+        ));
+    }
+    out.push_str(
+        "\npaper anchors: ping-self 43 cycles; neighbour read 60; opposite-corner read 98\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_walk_is_monotone() {
+        let dims = MeshDims::new(4, 4, 4);
+        for h in 0..=9 {
+            let c = target_at(dims, h);
+            assert_eq!(Coord::new(0, 0, 0).hops_to(c), h);
+        }
+    }
+
+    #[test]
+    fn slope_is_one_cycle_per_hop_each_way() {
+        let curves = measure(64).unwrap();
+        for c in &curves {
+            let slope = c.slope();
+            assert!(
+                (slope - 2.0).abs() < 0.4,
+                "{}: slope {slope}",
+                c.kind.name()
+            );
+        }
+        // Reads cost more than pings; external reads more than internal.
+        let base = |k: RpcKind| {
+            curves
+                .iter()
+                .find(|c| c.kind == k)
+                .unwrap()
+                .base()
+        };
+        assert!(base(RpcKind::Read1Imem) > base(RpcKind::Ping));
+        assert!(base(RpcKind::Read1Emem) > base(RpcKind::Read1Imem));
+        assert!(base(RpcKind::Read6Emem) > base(RpcKind::Read6Imem));
+    }
+}

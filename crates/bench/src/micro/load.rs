@@ -1,0 +1,293 @@
+//! Figure 3: one-way message latency vs. bisection traffic (left) and
+//! processor efficiency vs. grain size (right).
+//!
+//! Every node runs the paper's loop: pick a uniformly random destination,
+//! send an `L`-word message, await an `L`-word acknowledgement, then "idle"
+//! for a computation phase of `Z` spin iterations. The idle time sets the
+//! offered load. Round-trip times accumulate in guest memory; the host
+//! zeroes the accumulators after a warm-up window, measures over a fixed
+//! window, and derives:
+//!
+//! * one-way latency = round-trip / 2 (the paper's method);
+//! * bisection traffic from the network's flit counters;
+//! * efficiency = compute cycles / total cycles (the right-hand plot).
+
+use crate::table::{fnum, TextTable};
+use jm_asm::{hdr, Builder, Program};
+use jm_isa::instr::{AluOp, MsgPriority::P0, StatClass};
+use jm_isa::node::NodeId;
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_machine::{JMachine, MachineConfig, MachineError, StartPolicy};
+use jm_runtime::{nnr, rand as jrand};
+
+/// One measured operating point.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadPoint {
+    /// Message length in words.
+    pub msg_len: u32,
+    /// Spin iterations per exchange (grain knob).
+    pub idle_iters: u32,
+    /// Mean one-way latency, cycles.
+    pub latency: f64,
+    /// Bisection traffic, Mbit/s.
+    pub bisection_mbits: f64,
+    /// Mean cycles between exchanges (loop period).
+    pub period: f64,
+    /// Processor efficiency: compute fraction of all cycles.
+    pub efficiency: f64,
+}
+
+// f3_r layout (per node): [0] rt_sum, [1] count, [2] seed, [3] t0.
+
+/// Builds the exchange-loop program (public for engine benchmarks).
+pub fn debug_program(l: u32, idle_iters: u32) -> Program {
+    program(l, idle_iters)
+}
+
+fn program(l: u32, idle_iters: u32) -> Program {
+    assert!(l >= 2, "need at least header + reply route");
+    let mut b = Builder::new();
+    b.data("f3_r", jm_asm::Region::Imem, vec![jm_isa::Word::int(0); 4]);
+    b.reserve("f3_flag", jm_asm::Region::Imem, 1);
+
+    b.label("main");
+    b.load_seg(A2, "f3_r");
+    // Distinct seeds per node.
+    b.mov(R0, Special::Nid);
+    b.alu(AluOp::Mul, R0, R0, 2_654_435);
+    b.addi(R0, R0, 12345);
+    b.mov(MemRef::disp(A2, 2), R0);
+    // De-synchronize the SPMD lockstep start so loads do not arrive in
+    // machine-wide bursts: stagger by a node-dependent spin.
+    let modulus = (3 * idle_iters + 64) as i32;
+    b.mov(R1, Special::Nid);
+    b.alu(AluOp::Mul, R1, R1, 97);
+    b.alu(AluOp::Rem, R1, R1, modulus);
+    b.addi(R1, R1, 1);
+    b.label("stagger");
+    b.subi(R1, R1, 1);
+    b.bnz(R1, "stagger");
+    b.label("loop");
+    b.mark(StatClass::Comm);
+    // Random destination.
+    b.mov(R0, MemRef::disp(A2, 2));
+    b.call(jrand::LCG_NEXT);
+    b.mov(MemRef::disp(A2, 2), R0);
+    b.alu(AluOp::Rem, R0, R0, Special::NNodes);
+    b.call(nnr::NID_TO_ROUTE);
+    b.mark(StatClass::Comm);
+    b.load_seg(A2, "f3_r"); // route call clobbered A1 only, but reload for clarity
+    b.load_seg(A1, "f3_flag");
+    b.mov(MemRef::disp(A1, 0), 0);
+    b.mov(R2, Special::Cycle);
+    b.mov(MemRef::disp(A2, 3), R2);
+    b.send(P0, R0);
+    if l == 2 {
+        b.send2e(P0, hdr("f3_echo", l), Special::Nnr);
+    } else {
+        b.send2(P0, hdr("f3_echo", l), Special::Nnr);
+        for i in 0..l - 2 {
+            if i + 1 == l - 2 {
+                b.sende(P0, 0);
+            } else {
+                b.send(P0, 0);
+            }
+        }
+    }
+    b.label("wait");
+    b.mov(R1, MemRef::disp(A1, 0));
+    b.bz(R1, "wait");
+    b.mov(R1, Special::Cycle);
+    b.alu(AluOp::Sub, R1, R1, MemRef::disp(A2, 3));
+    b.mov(R2, MemRef::disp(A2, 0));
+    b.alu(AluOp::Add, R2, R2, R1);
+    b.mov(MemRef::disp(A2, 0), R2);
+    b.mov(R2, MemRef::disp(A2, 1));
+    b.addi(R2, R2, 1);
+    b.mov(MemRef::disp(A2, 1), R2);
+    // "Computation": the grain-size spin.
+    b.mark(StatClass::Compute);
+    if idle_iters > 0 {
+        b.movi(R1, idle_iters as i32);
+        b.label("spin");
+        b.subi(R1, R1, 1);
+        b.bnz(R1, "spin");
+    }
+    b.br("loop");
+
+    // Echo: reply with an equal-length message to the embedded route.
+    b.label("f3_echo");
+    b.mark(StatClass::Comm);
+    // Touch the final word first: the exchange is of whole L-word
+    // messages, so the reply waits for the full request.
+    b.mov(R1, MemRef::disp(A3, l - 1));
+    b.send(P0, MemRef::disp(A3, 1));
+    if l == 2 {
+        b.send2e(P0, hdr("f3_ack", l), 0);
+    } else {
+        b.send2(P0, hdr("f3_ack", l), 0);
+        for i in 0..l - 2 {
+            if i + 1 == l - 2 {
+                b.sende(P0, 0);
+            } else {
+                b.send(P0, 0);
+            }
+        }
+    }
+    b.suspend();
+
+    b.label("f3_ack");
+    b.mark(StatClass::Comm);
+    b.mov(R1, MemRef::disp(A3, l - 1)); // stall until fully arrived
+    b.load_seg(A0, "f3_flag");
+    b.mov(MemRef::disp(A0, 0), 1);
+    b.suspend();
+
+    b.entry("main");
+    nnr::install(&mut b);
+    jrand::install(&mut b);
+    b.assemble().expect("fig3 assembles")
+}
+
+/// Measures one operating point on a machine of `nodes` nodes.
+///
+/// # Errors
+///
+/// Propagates machine failures.
+pub fn measure_point(
+    nodes: u32,
+    msg_len: u32,
+    idle_iters: u32,
+    warmup: u64,
+    window: u64,
+) -> Result<LoadPoint, MachineError> {
+    let p = program(msg_len, idle_iters);
+    let seg = p.segment("f3_r");
+    let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+    m.run(warmup);
+    if !m.node_errors().is_empty() {
+        return Err(jm_machine::MachineError::NodeErrors(m.node_errors()));
+    }
+    // Zero the guest accumulators and snapshot host-side counters.
+    for n in 0..nodes {
+        m.write_word(NodeId(n), seg.base, jm_isa::Word::int(0));
+        m.write_word(NodeId(n), seg.base + 1, jm_isa::Word::int(0));
+    }
+    let net0 = m.network().stats().clone();
+    let stats0 = m.stats();
+    m.run(window);
+    if !m.node_errors().is_empty() {
+        return Err(jm_machine::MachineError::NodeErrors(m.node_errors()));
+    }
+    let net1 = m.network().stats().since(&net0);
+    let stats1 = m.stats();
+    let mut rt_sum = 0u64;
+    let mut count = 0u64;
+    for n in 0..nodes {
+        rt_sum += m.read_word(NodeId(n), seg.base).as_i32() as u64;
+        count += m.read_word(NodeId(n), seg.base + 1).as_i32() as u64;
+    }
+    let latency = if count == 0 {
+        0.0
+    } else {
+        rt_sum as f64 / count as f64 / 2.0
+    };
+    let compute =
+        stats1.nodes.class_cycles(StatClass::Compute) - stats0.nodes.class_cycles(StatClass::Compute);
+    let total = u64::from(nodes) * window;
+    let period = if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    };
+    Ok(LoadPoint {
+        msg_len,
+        idle_iters,
+        latency,
+        bisection_mbits: net1.bisection_bits_per_sec(window) / 1e6,
+        period,
+        efficiency: compute as f64 / total as f64,
+    })
+}
+
+/// Runs the full Figure 3 sweep.
+///
+/// # Errors
+///
+/// Propagates machine failures.
+pub fn measure(
+    nodes: u32,
+    lengths: &[u32],
+    idles: &[u32],
+    warmup: u64,
+    window: u64,
+) -> Result<Vec<LoadPoint>, MachineError> {
+    let mut points = Vec::new();
+    for &l in lengths {
+        for &z in idles {
+            points.push(measure_point(nodes, l, z, warmup, window)?);
+        }
+    }
+    Ok(points)
+}
+
+/// Renders both projections of Figure 3.
+pub fn render(nodes: u32, points: &[LoadPoint], capacity_mbits: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 3 (left): one-way latency vs bisection traffic, {nodes} nodes\n"
+    ));
+    out.push_str(&format!(
+        "bisection capacity {capacity_mbits:.0} Mbit/s; paper saturates near 6000 of 14400 Mbit/s\n\n",
+    ));
+    let mut t = TextTable::new(vec![
+        "len(words)",
+        "idle",
+        "traffic(Mb/s)",
+        "latency(cyc)",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.msg_len.to_string(),
+            p.idle_iters.to_string(),
+            fnum(p.bisection_mbits),
+            fnum(p.latency),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nFigure 3 (right): efficiency vs grain size\n\n");
+    let mut t = TextTable::new(vec!["len(words)", "grain(cyc)", "efficiency"]);
+    for p in points {
+        let grain = p.efficiency * p.period;
+        t.row(vec![
+            p.msg_len.to_string(),
+            fnum(grain),
+            format!("{:.2}", p.efficiency),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\npaper: 50% efficiency at 100-300 cycles/message of computation\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_rises_with_load() {
+        // Heavy load (no idle) must show higher latency than light load
+        // (large idle), and much higher bisection traffic.
+        let light = measure_point(64, 8, 2000, 4_000, 80_000).unwrap();
+        let heavy = measure_point(64, 8, 0, 4_000, 30_000).unwrap();
+        assert!(heavy.bisection_mbits > 4.0 * light.bisection_mbits);
+        assert!(
+            heavy.latency > light.latency,
+            "heavy {} vs light {}",
+            heavy.latency,
+            light.latency
+        );
+        assert!(light.efficiency > heavy.efficiency);
+    }
+}

@@ -1,0 +1,8 @@
+//! Micro-benchmarks: the synthetic programs of the paper's §3.
+
+pub mod bandwidth;
+pub mod barrier;
+pub mod latency;
+pub mod load;
+pub mod overhead;
+pub mod sync;

@@ -1,0 +1,101 @@
+//! Machine configuration.
+
+use jm_isa::node::MeshDims;
+use jm_mdp::MdpConfig;
+use jm_net::NetConfig;
+
+/// Which nodes start a background thread at boot (at the program's declared
+/// entry point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartPolicy {
+    /// Only node 0 — the common SPMD pattern where node 0 orchestrates and
+    /// the rest react to messages.
+    #[default]
+    Node0,
+    /// Every node runs the background entry.
+    AllNodes,
+    /// No background threads; the host must deliver the first messages.
+    None,
+}
+
+/// Configuration of a whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Mesh dimensions.
+    pub dims: MeshDims,
+    /// Per-node configuration.
+    pub mdp: MdpConfig,
+    /// Network configuration (dims must match `dims`).
+    pub net: NetConfig,
+    /// Background start policy.
+    pub start: StartPolicy,
+}
+
+impl MachineConfig {
+    /// Near-cubic machine of `nodes` nodes with default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` cannot be factored into a mesh (see
+    /// [`MeshDims::for_nodes`]).
+    pub fn new(nodes: u32) -> MachineConfig {
+        let dims = MeshDims::for_nodes(nodes);
+        MachineConfig {
+            dims,
+            mdp: MdpConfig::default(),
+            net: NetConfig::new(dims),
+            start: StartPolicy::default(),
+        }
+    }
+
+    /// Machine with explicit mesh dimensions.
+    pub fn with_dims(dims: MeshDims) -> MachineConfig {
+        MachineConfig {
+            dims,
+            mdp: MdpConfig::default(),
+            net: NetConfig::new(dims),
+            start: StartPolicy::default(),
+        }
+    }
+
+    /// The paper's 512-node prototype (8×8×8).
+    pub fn prototype_512() -> MachineConfig {
+        MachineConfig::new(512)
+    }
+
+    /// Sets the start policy (builder style).
+    pub fn start(mut self, policy: StartPolicy) -> MachineConfig {
+        self.start = policy;
+        self
+    }
+
+    /// Sets the per-node configuration (builder style).
+    pub fn mdp(mut self, mdp: MdpConfig) -> MachineConfig {
+        self.mdp = mdp;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.dims.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match() {
+        let c = MachineConfig::new(64);
+        assert_eq!(c.nodes(), 64);
+        assert_eq!(c.dims, MeshDims::new(4, 4, 4));
+        assert_eq!(c.net.dims, c.dims);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = MachineConfig::new(8).start(StartPolicy::AllNodes);
+        assert_eq!(c.start, StartPolicy::AllNodes);
+    }
+}

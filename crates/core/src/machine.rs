@@ -1,0 +1,491 @@
+//! The machine: nodes + network under one clock.
+
+use crate::config::{MachineConfig, StartPolicy};
+use crate::stats::MachineStats;
+use jm_asm::Program;
+use jm_isa::consts::FaultKind;
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::NodeId;
+use jm_isa::word::{MsgHeader, Word};
+use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError};
+use jm_net::{InjectResult, Network};
+use std::fmt;
+use std::sync::Arc;
+
+/// A machine-level failure.
+#[derive(Debug, Clone)]
+pub enum MachineError {
+    /// One or more nodes stopped with an error.
+    NodeErrors(Vec<(NodeId, NodeError)>),
+    /// The cycle budget elapsed before quiescence.
+    Timeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+        /// Nodes that still had work.
+        busy_nodes: u32,
+        /// Flits still in the network.
+        in_flight: u64,
+    },
+    /// The machine quiesced but undelivered words remain queued at halted
+    /// nodes (a protocol bug in the guest program).
+    StrandedMessages {
+        /// Nodes with stranded words.
+        nodes: Vec<NodeId>,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NodeErrors(errors) => {
+                write!(f, "{} node error(s):", errors.len())?;
+                for (id, e) in errors.iter().take(4) {
+                    write!(f, " [{id}: {e}]")?;
+                }
+                Ok(())
+            }
+            MachineError::Timeout {
+                cycles,
+                busy_nodes,
+                in_flight,
+            } => write!(
+                f,
+                "no quiescence after {cycles} cycles ({busy_nodes} busy nodes, {in_flight} flits in flight)"
+            ),
+            MachineError::StrandedMessages { nodes } => {
+                write!(f, "messages stranded at {} halted node(s)", nodes.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Adapter giving one node's `SEND` instructions access to its injection
+/// port.
+struct Port<'a> {
+    net: &'a mut Network,
+    node: NodeId,
+}
+
+impl NetPort for Port<'_> {
+    fn commit(&mut self, priority: MsgPriority, words: &[Word]) -> InjectAck {
+        match self.net.commit_msg(self.node, priority, words) {
+            InjectResult::Accepted => InjectAck::Accepted,
+            InjectResult::Stall => InjectAck::Stall,
+            InjectResult::BadRoute => InjectAck::Rejected,
+        }
+    }
+}
+
+/// A simulated J-Machine.
+pub struct JMachine {
+    program: Arc<Program>,
+    config: MachineConfig,
+    nodes: Vec<MdpNode>,
+    net: Network,
+    cycle: u64,
+}
+
+impl fmt::Debug for JMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JMachine")
+            .field("nodes", &self.nodes.len())
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JMachine {
+    /// Boots a machine with `program` loaded on every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation (assembled programs are
+    /// always valid).
+    pub fn new(program: Program, config: MachineConfig) -> JMachine {
+        program.validate().expect("invalid program image");
+        let program = Arc::new(program);
+        let nodes = config
+            .dims
+            .iter_nodes()
+            .map(|id| {
+                let start = match config.start {
+                    StartPolicy::AllNodes => true,
+                    StartPolicy::Node0 => id.0 == 0,
+                    StartPolicy::None => false,
+                };
+                MdpNode::new(id, config.dims, Arc::clone(&program), config.mdp, start)
+            })
+            .collect();
+        JMachine {
+            program,
+            config,
+            nodes,
+            net: Network::new(config.net),
+            cycle: 0,
+        }
+    }
+
+    /// The loaded program image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// A node, by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &MdpNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (host interface).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut MdpNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Installs a fault vector on every node, resolving `handler` through
+    /// the program's symbol table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not a code symbol.
+    pub fn install_vector_all(&mut self, kind: FaultKind, handler: &str) {
+        let ip = self.program.handler(handler);
+        for node in &mut self.nodes {
+            node.install_vector(kind, ip);
+        }
+    }
+
+    /// Host interface: delivers a message directly into a node's queue
+    /// (bypassing the network, like the prototype's host port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handler label is unknown.
+    pub fn deliver_message(
+        &mut self,
+        node: NodeId,
+        priority: MsgPriority,
+        handler: &str,
+        args: &[Word],
+    ) {
+        let ip = self.program.handler(handler);
+        let header = MsgHeader::new(ip, args.len() as u32 + 1).to_word();
+        let target = &mut self.nodes[node.index()];
+        assert!(target.deliver(priority, header), "host delivery overflow");
+        for &w in args {
+            assert!(target.deliver(priority, w), "host delivery overflow");
+        }
+    }
+
+    /// Host interface: reads a word of node memory.
+    pub fn read_word(&self, node: NodeId, addr: u32) -> Word {
+        self.nodes[node.index()].read_mem(addr)
+    }
+
+    /// Host interface: writes a word of node memory.
+    pub fn write_word(&mut self, node: NodeId, addr: u32, word: Word) {
+        self.nodes[node.index()].write_mem(addr, word);
+    }
+
+    /// Host interface: reads a whole named data block from one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no such block.
+    pub fn read_block(&self, node: NodeId, name: &str) -> Vec<Word> {
+        let block = self
+            .program
+            .data
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("no data block `{name}`"));
+        self.nodes[node.index()].dump_mem(block.base, block.len)
+    }
+
+    /// Advances the machine by one cycle: ejected words are pumped into the
+    /// queues, every node ticks, and the network moves flits.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        // 1. Pump ejection FIFOs into message queues (hardware path,
+        //    rate-limited upstream by the 0.5 words/cycle eject channel).
+        for node in &mut self.nodes {
+            let id = node.id();
+            for priority in MsgPriority::ALL {
+                while let Some(word) = self.net.delivered_front(id, priority) {
+                    if node.deliver(priority, word) {
+                        self.net.pop_delivered(id, priority);
+                    } else {
+                        break; // queue full: backpressure
+                    }
+                }
+            }
+        }
+        // 2. Execute.
+        for node in &mut self.nodes {
+            let id = node.id();
+            let mut port = Port {
+                net: &mut self.net,
+                node: id,
+            };
+            node.tick(now, &mut port);
+        }
+        // 3. Move the network.
+        self.net.step();
+        self.cycle += 1;
+    }
+
+    /// Runs for a fixed number of cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Whether nothing can happen anymore: every node idle with empty
+    /// queues and the network drained.
+    pub fn is_quiescent(&self) -> bool {
+        self.net.is_idle() && self.nodes.iter().all(|n| !n.has_work())
+    }
+
+    /// Nodes that stopped with an error.
+    pub fn node_errors(&self) -> Vec<(NodeId, NodeError)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.error().map(|e| (n.id(), e.clone())))
+            .collect()
+    }
+
+    /// Runs until quiescence (checking every few cycles), a node error, or
+    /// the cycle budget.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NodeErrors`] if any node stopped on a fatal error,
+    /// [`MachineError::Timeout`] if the budget elapsed, and
+    /// [`MachineError::StrandedMessages`] if the machine quiesced with
+    /// words still queued at halted/errored nodes.
+    pub fn run_until_quiescent(&mut self, max_cycles: u64) -> Result<u64, MachineError> {
+        const CHECK_EVERY: u64 = 32;
+        let start = self.cycle;
+        loop {
+            for _ in 0..CHECK_EVERY {
+                self.step();
+            }
+            let errors = self.node_errors();
+            if !errors.is_empty() {
+                return Err(MachineError::NodeErrors(errors));
+            }
+            if self.is_quiescent() {
+                let stranded: Vec<NodeId> = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.queued_words() > 0)
+                    .map(|n| n.id())
+                    .collect();
+                if !stranded.is_empty() {
+                    return Err(MachineError::StrandedMessages { nodes: stranded });
+                }
+                return Ok(self.cycle - start);
+            }
+            if self.cycle - start >= max_cycles {
+                return Err(MachineError::Timeout {
+                    cycles: self.cycle - start,
+                    busy_nodes: self.nodes.iter().filter(|n| n.has_work()).count() as u32,
+                    in_flight: self.net.in_flight(),
+                });
+            }
+        }
+    }
+
+    /// Aggregated statistics snapshot.
+    pub fn stats(&self) -> MachineStats {
+        let mut nodes = jm_mdp::NodeStats::default();
+        for node in &self.nodes {
+            nodes.merge(node.stats());
+        }
+        MachineStats {
+            cycles: self.cycle,
+            nodes,
+            net: self.net.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jm_asm::{hdr, Builder, Region};
+    use jm_isa::instr::{AluOp, StatClass};
+    use jm_isa::operand::{MemRef, Special};
+    use jm_isa::reg::AReg::*;
+    use jm_isa::reg::DReg::*;
+    use jm_isa::tag::Tag;
+
+    /// Node 0 sends an increment request to node `N-1`; that node replies
+    /// with the incremented value; node 0 stores it.
+    fn rpc_program() -> Program {
+        let mut b = Builder::new();
+        b.reserve("out", Region::Imem, 1);
+
+        b.label("main");
+        // Build a route word for the last node. Dims are read from the
+        // DIMS special; for the test machine (2x2x2) the last node is
+        // (1,1,1) = bits 0b10000100001.
+        b.movi(R0, 0x421);
+        b.wtag(R0, R0, Tag::Route.bits() as i32);
+        b.send(MsgPriority::P0, R0);
+        b.send2(MsgPriority::P0, hdr("incr", 3), 41);
+        b.sende(MsgPriority::P0, Special::Nnr); // reply route
+        b.suspend();
+
+        b.label("incr");
+        b.mov(R0, MemRef::disp(A3, 1)); // value
+        b.addi(R0, R0, 1);
+        b.send(MsgPriority::P0, MemRef::disp(A3, 2)); // reply route word
+        b.send2e(MsgPriority::P0, hdr("store", 2), R0);
+        b.suspend();
+
+        b.label("store");
+        b.mov(R0, MemRef::disp(A3, 1));
+        b.load_seg(A0, "out");
+        b.mov(MemRef::disp(A0, 0), R0);
+        b.suspend();
+
+        b.entry("main");
+        b.assemble().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_rpc() {
+        let mut m = JMachine::new(rpc_program(), MachineConfig::new(8));
+        let cycles = m.run_until_quiescent(10_000).unwrap();
+        let out = m.program().segment("out");
+        assert_eq!(m.read_word(NodeId(0), out.base).as_i32(), 42);
+        // Whole exchange should take tens of cycles, not thousands.
+        assert!(cycles < 200, "RPC took {cycles} cycles");
+        let stats = m.stats();
+        assert_eq!(stats.nodes.msgs_sent, 2);
+        assert_eq!(stats.nodes.msgs_received, 2);
+        assert_eq!(stats.net.delivered_msgs, 2);
+    }
+
+    #[test]
+    fn host_delivery_and_block_read() {
+        let mut b = Builder::new();
+        b.reserve("out", Region::Imem, 4);
+        b.label("fill");
+        b.load_seg(A0, "out");
+        b.movi(R0, 0);
+        b.label("loop");
+        b.mov(MemRef::reg(A0, R0), R0);
+        b.addi(R0, R0, 1);
+        b.alu(AluOp::Lt, R1, R0, 4);
+        b.bt(R1, "loop");
+        b.suspend();
+        let p = b.assemble().unwrap();
+        let mut m = JMachine::new(p, MachineConfig::new(1).start(StartPolicy::None));
+        m.deliver_message(NodeId(0), MsgPriority::P0, "fill", &[]);
+        m.run_until_quiescent(10_000).unwrap();
+        let block = m.read_block(NodeId(0), "out");
+        let values: Vec<i32> = block.iter().map(|w| w.as_i32()).collect();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timeout_reports_busy_state() {
+        let mut b = Builder::new();
+        b.label("spin");
+        b.br("spin");
+        b.entry("spin");
+        let mut m = JMachine::new(b.assemble().unwrap(), MachineConfig::new(1));
+        match m.run_until_quiescent(100) {
+            Err(MachineError::Timeout { busy_nodes, .. }) => assert_eq!(busy_nodes, 1),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_error_surfaces() {
+        let mut b = Builder::new();
+        b.label("main");
+        b.alu(AluOp::Div, R0, 1, 0); // no vector installed
+        b.halt();
+        b.entry("main");
+        let mut m = JMachine::new(b.assemble().unwrap(), MachineConfig::new(1));
+        match m.run_until_quiescent(1000) {
+            Err(MachineError::NodeErrors(errors)) => {
+                assert_eq!(errors.len(), 1);
+                assert!(matches!(errors[0].1, NodeError::UnhandledFault { .. }));
+            }
+            other => panic!("expected node error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_nodes_policy_runs_everywhere() {
+        let mut b = Builder::new();
+        b.reserve("out", Region::Imem, 1);
+        b.label("main");
+        b.load_seg(A0, "out");
+        b.mov(MemRef::disp(A0, 0), Special::Nid);
+        b.halt();
+        b.entry("main");
+        let p = b.assemble().unwrap();
+        let out = p.segment("out");
+        let mut m = JMachine::new(p, MachineConfig::new(8).start(StartPolicy::AllNodes));
+        m.run_until_quiescent(10_000).unwrap();
+        for id in 0..8 {
+            assert_eq!(m.read_word(NodeId(id), out.base).as_i32(), id as i32);
+        }
+        // Every node spent dispatch-free compute time; idle only at the end.
+        let stats = m.stats();
+        assert!(stats.class_fraction(StatClass::Compute) > 0.0);
+    }
+
+    #[test]
+    fn stranded_messages_detected() {
+        let mut b = Builder::new();
+        b.label("main");
+        b.halt();
+        b.label("never");
+        b.suspend();
+        b.entry("main");
+        let p = b.assemble().unwrap();
+        let mut m = JMachine::new(p, MachineConfig::new(1));
+        // Halt the node, then deliver a message nobody will handle.
+        m.run_until_quiescent(1000).unwrap();
+        m.deliver_message(NodeId(0), MsgPriority::P0, "never", &[]);
+        match m.run_until_quiescent(1000) {
+            Err(MachineError::StrandedMessages { nodes }) => assert_eq!(nodes, vec![NodeId(0)]),
+            other => panic!("expected stranded, got {other:?}"),
+        }
+    }
+}

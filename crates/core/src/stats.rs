@@ -1,0 +1,57 @@
+//! Machine-level statistics aggregation.
+
+use jm_isa::instr::StatClass;
+use jm_mdp::NodeStats;
+use jm_net::NetStats;
+
+/// A machine-wide statistics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Sum of all node counters.
+    pub nodes: NodeStats,
+    /// Network counters.
+    pub net: NetStats,
+}
+
+impl MachineStats {
+    /// Fraction of all node cycles spent in `class` (the Figure 6 metric).
+    pub fn class_fraction(&self, class: StatClass) -> f64 {
+        let total = self.nodes.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.nodes.class_cycles(class) as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock seconds at the prototype's 12.5 MHz.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / jm_isa::consts::CLOCK_HZ as f64
+    }
+
+    /// Milliseconds at the prototype clock (the paper's run-time unit).
+    pub fn millis(&self) -> f64 {
+        self.seconds() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_time() {
+        let mut s = MachineStats {
+            cycles: 12_500_000,
+            ..MachineStats::default()
+        };
+        s.nodes.add_cycles(StatClass::Compute, 75);
+        s.nodes.add_cycles(StatClass::Idle, 25);
+        assert!((s.class_fraction(StatClass::Compute) - 0.75).abs() < 1e-12);
+        assert!((s.seconds() - 1.0).abs() < 1e-12);
+        assert!((s.millis() - 1000.0).abs() < 1e-9);
+        assert_eq!(MachineStats::default().class_fraction(StatClass::Idle), 0.0);
+    }
+}

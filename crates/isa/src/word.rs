@@ -1,0 +1,385 @@
+//! The 36-bit tagged word and its structured interpretations.
+
+use crate::tag::Tag;
+use std::fmt;
+
+/// A 36-bit MDP word: 32 bits of data plus a 4-bit [`Tag`].
+///
+/// `Word` is the unit of every architectural store on the machine: registers,
+/// internal SRAM, external DRAM, message queues, and network payloads.
+///
+/// # Example
+///
+/// ```
+/// use jm_isa::{Word, Tag};
+///
+/// let w = Word::int(-7);
+/// assert_eq!(w.as_i32(), -7);
+/// assert_eq!(w.tag(), Tag::Int);
+/// assert_eq!(w.retagged(Tag::Sym).tag(), Tag::Sym);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word {
+    tag: Tag,
+    bits: u32,
+}
+
+impl Word {
+    /// The nil word: tag [`Tag::Nil`], zero payload.
+    pub const NIL: Word = Word {
+        tag: Tag::Nil,
+        bits: 0,
+    };
+
+    /// Creates a word from a tag and raw payload bits.
+    #[inline]
+    pub fn new(tag: Tag, bits: u32) -> Word {
+        Word { tag, bits }
+    }
+
+    /// Creates an integer word.
+    #[inline]
+    pub fn int(value: i32) -> Word {
+        Word {
+            tag: Tag::Int,
+            bits: value as u32,
+        }
+    }
+
+    /// Creates a boolean word.
+    #[inline]
+    pub fn bool(value: bool) -> Word {
+        Word {
+            tag: Tag::Bool,
+            bits: value as u32,
+        }
+    }
+
+    /// Creates a symbol word.
+    #[inline]
+    pub fn sym(id: u32) -> Word {
+        Word {
+            tag: Tag::Sym,
+            bits: id,
+        }
+    }
+
+    /// Creates an instruction-pointer word from an instruction index.
+    #[inline]
+    pub fn ip(index: u32) -> Word {
+        Word {
+            tag: Tag::Ip,
+            bits: index,
+        }
+    }
+
+    /// Creates an unset `cfut` synchronization slot.
+    #[inline]
+    pub fn cfut() -> Word {
+        Word {
+            tag: Tag::CFut,
+            bits: 0,
+        }
+    }
+
+    /// Creates an unresolved `fut` placeholder carrying an identifier.
+    #[inline]
+    pub fn fut(id: u32) -> Word {
+        Word {
+            tag: Tag::Fut,
+            bits: id,
+        }
+    }
+
+    /// The word's tag.
+    #[inline]
+    pub fn tag(self) -> Tag {
+        self.tag
+    }
+
+    /// The raw 32-bit payload.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The payload interpreted as a signed integer.
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        self.bits as i32
+    }
+
+    /// The payload interpreted as a boolean (non-zero is true).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.bits != 0
+    }
+
+    /// Returns this word with its tag replaced (the MDP `WTAG` operation).
+    #[inline]
+    pub fn retagged(self, tag: Tag) -> Word {
+        Word {
+            tag,
+            bits: self.bits,
+        }
+    }
+
+    /// Whether reading this word as a *computing* operand must fault.
+    ///
+    /// Both `cfut` and `fut` fault when consumed by an instruction that
+    /// inspects the value.
+    #[inline]
+    pub fn faults_on_use(self) -> bool {
+        self.tag.is_future()
+    }
+
+    /// Whether reading this word at all (even a `MOVE`) must fault.
+    ///
+    /// Only `cfut` has this property; `fut` values are first-class and may be
+    /// copied, stored in arrays, and returned from functions (§2.1).
+    #[inline]
+    pub fn faults_on_read(self) -> bool {
+        self.tag == Tag::CFut
+    }
+}
+
+impl Default for Word {
+    fn default() -> Word {
+        Word::NIL
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tag {
+            Tag::Int => write!(f, "{}:int", self.as_i32()),
+            Tag::Bool => write!(f, "{}:bool", self.as_bool()),
+            Tag::Addr => write!(f, "{:?}", SegDesc::from_word(*self)),
+            Tag::Msg => write!(f, "{:?}", MsgHeader::from_word(*self)),
+            _ => write!(f, "{:#x}:{}", self.bits, self.tag),
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i32> for Word {
+    fn from(value: i32) -> Word {
+        Word::int(value)
+    }
+}
+
+impl From<bool> for Word {
+    fn from(value: bool) -> Word {
+        Word::bool(value)
+    }
+}
+
+/// A segment descriptor: the `addr`-tagged word used for all memory access.
+///
+/// The MDP references local memory exclusively through segment descriptors
+/// giving the base and length of each memory object, which lets objects be
+/// relocated at will (local heap compaction) as long as only global virtual
+/// addresses escape the node (§2.1).
+///
+/// Packing: `base` in bits 12..32 (20 bits, word-addressed), `len` in bits
+/// 0..12 (12 bits). A length of **zero** denotes an *unbounded* system
+/// descriptor: bounds checking is suppressed. The runtime uses unbounded
+/// descriptors for privileged access to whole-node memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegDesc {
+    /// Base word address (20 bits).
+    pub base: u32,
+    /// Segment length in words (12 bits); 0 means unbounded.
+    pub len: u32,
+}
+
+impl SegDesc {
+    /// Maximum representable base address.
+    pub const MAX_BASE: u32 = (1 << 20) - 1;
+    /// Maximum representable bounded length.
+    pub const MAX_LEN: u32 = (1 << 12) - 1;
+
+    /// Creates a bounded segment descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` exceeds 20 bits or `len` exceeds 12 bits.
+    pub fn new(base: u32, len: u32) -> SegDesc {
+        assert!(base <= Self::MAX_BASE, "segment base out of range: {base}");
+        assert!(len <= Self::MAX_LEN, "segment length out of range: {len}");
+        SegDesc { base, len }
+    }
+
+    /// Creates an unbounded (privileged) descriptor starting at `base`.
+    pub fn unbounded(base: u32) -> SegDesc {
+        assert!(base <= Self::MAX_BASE, "segment base out of range: {base}");
+        SegDesc { base, len: 0 }
+    }
+
+    /// Whether this descriptor suppresses bounds checking.
+    #[inline]
+    pub fn is_unbounded(self) -> bool {
+        self.len == 0
+    }
+
+    /// Checks `index` against the segment bounds and returns the absolute
+    /// word address, or `None` when out of bounds.
+    #[inline]
+    pub fn address(self, index: u32) -> Option<u32> {
+        if self.is_unbounded() || index < self.len {
+            Some(self.base.wrapping_add(index))
+        } else {
+            None
+        }
+    }
+
+    /// Packs this descriptor into an `addr`-tagged word.
+    #[inline]
+    pub fn to_word(self) -> Word {
+        Word::new(Tag::Addr, (self.base << 12) | self.len)
+    }
+
+    /// Unpacks a descriptor from a word's payload (any tag accepted; the tag
+    /// check is the caller's responsibility).
+    #[inline]
+    pub fn from_word(word: Word) -> SegDesc {
+        SegDesc {
+            base: word.bits() >> 12,
+            len: word.bits() & 0xfff,
+        }
+    }
+}
+
+/// A message header: the `msg`-tagged word that must lead every message.
+///
+/// The format of a J-Machine message is arbitrary *except* that the first
+/// word must contain the address of the code to run at the destination and
+/// the length of the message (§2.1). Arrival of the header is what triggers
+/// the 4-cycle hardware task dispatch.
+///
+/// Packing: `ip` (instruction index, 20 bits) in bits 12..32, `len` (words,
+/// including the header itself, 12 bits) in bits 0..12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgHeader {
+    /// Handler entry point (instruction index).
+    pub ip: u32,
+    /// Total message length in words, including this header.
+    pub len: u32,
+}
+
+impl MsgHeader {
+    /// Maximum representable handler IP.
+    pub const MAX_IP: u32 = (1 << 20) - 1;
+    /// Maximum representable message length.
+    pub const MAX_LEN: u32 = (1 << 12) - 1;
+
+    /// Creates a message header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` exceeds 20 bits, or `len` is zero or exceeds 12 bits.
+    pub fn new(ip: u32, len: u32) -> MsgHeader {
+        assert!(ip <= Self::MAX_IP, "handler ip out of range: {ip}");
+        assert!(
+            len > 0 && len <= Self::MAX_LEN,
+            "message length out of range: {len}"
+        );
+        MsgHeader { ip, len }
+    }
+
+    /// Packs this header into a `msg`-tagged word.
+    #[inline]
+    pub fn to_word(self) -> Word {
+        Word::new(Tag::Msg, (self.ip << 12) | self.len)
+    }
+
+    /// Unpacks a header from a word's payload.
+    #[inline]
+    pub fn from_word(word: Word) -> MsgHeader {
+        MsgHeader {
+            ip: word.bits() >> 12,
+            len: word.bits() & 0xfff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 123_456_789] {
+            assert_eq!(Word::int(v).as_i32(), v);
+        }
+    }
+
+    #[test]
+    fn retag_preserves_bits() {
+        let w = Word::int(0x1234_5678u32 as i32);
+        let r = w.retagged(Tag::Sym);
+        assert_eq!(r.bits(), w.bits());
+        assert_eq!(r.tag(), Tag::Sym);
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(Word::cfut().faults_on_read());
+        assert!(Word::cfut().faults_on_use());
+        assert!(!Word::fut(3).faults_on_read());
+        assert!(Word::fut(3).faults_on_use());
+        assert!(!Word::int(1).faults_on_use());
+    }
+
+    #[test]
+    fn segdesc_round_trip() {
+        let d = SegDesc::new(0xabcde, 0x123);
+        let w = d.to_word();
+        assert_eq!(w.tag(), Tag::Addr);
+        assert_eq!(SegDesc::from_word(w), d);
+    }
+
+    #[test]
+    fn segdesc_bounds() {
+        let d = SegDesc::new(100, 10);
+        assert_eq!(d.address(0), Some(100));
+        assert_eq!(d.address(9), Some(109));
+        assert_eq!(d.address(10), None);
+        let u = SegDesc::unbounded(0);
+        assert_eq!(u.address(1_000_000), Some(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment length out of range")]
+    fn segdesc_rejects_oversize_len() {
+        let _ = SegDesc::new(0, 4096);
+    }
+
+    #[test]
+    fn msg_header_round_trip() {
+        let h = MsgHeader::new(0xfffff, 0xfff);
+        assert_eq!(MsgHeader::from_word(h.to_word()), h);
+        let h = MsgHeader::new(7, 2);
+        let w = h.to_word();
+        assert_eq!(w.tag(), Tag::Msg);
+        assert_eq!(MsgHeader::from_word(w), h);
+    }
+
+    #[test]
+    #[should_panic(expected = "message length out of range")]
+    fn msg_header_rejects_zero_len() {
+        let _ = MsgHeader::new(0, 0);
+    }
+
+    #[test]
+    fn debug_formats_are_informative() {
+        assert_eq!(format!("{:?}", Word::int(5)), "5:int");
+        assert!(format!("{:?}", Word::cfut()).contains("cfut"));
+        assert!(!format!("{:?}", Word::NIL).is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: every representable instruction round-trips through the
+//! binary encoding, and footprints are monotone under concatenation.
+
+use jm_isa::encode::{decode, encode, footprint_words};
+use jm_isa::instr::{Alu1Op, AluOp, Cond, Instruction, MsgPriority, StatClass};
+use jm_isa::operand::{Dst, Index, MemRef, Special, Src};
+use jm_isa::reg::{AReg, DReg};
+use jm_isa::tag::Tag;
+use jm_isa::word::Word;
+use proptest::prelude::*;
+
+fn arb_dreg() -> impl Strategy<Value = DReg> {
+    (0usize..4).prop_map(DReg::from_index)
+}
+
+fn arb_areg() -> impl Strategy<Value = AReg> {
+    (0usize..4).prop_map(AReg::from_index)
+}
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    (0u8..16).prop_map(Tag::from_bits)
+}
+
+fn arb_word() -> impl Strategy<Value = Word> {
+    (arb_tag(), any::<u32>()).prop_map(|(tag, bits)| Word::new(tag, bits))
+}
+
+fn arb_mem() -> impl Strategy<Value = MemRef> {
+    (
+        arb_areg(),
+        prop_oneof![
+            (0u32..1 << 20).prop_map(Index::Disp),
+            arb_dreg().prop_map(Index::Reg),
+        ],
+    )
+        .prop_map(|(base, index)| MemRef { base, index })
+}
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        arb_dreg().prop_map(Src::D),
+        arb_areg().prop_map(Src::A),
+        arb_word().prop_map(Src::Imm),
+        any::<i32>().prop_map(Src::imm),
+        arb_mem().prop_map(Src::Mem),
+        (0usize..8).prop_map(|i| Src::Sp(Special::from_index(i))),
+    ]
+}
+
+fn arb_dst() -> impl Strategy<Value = Dst> {
+    prop_oneof![
+        arb_dreg().prop_map(Dst::D),
+        arb_areg().prop_map(Dst::A),
+        arb_mem().prop_map(Dst::Mem),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_dst(), arb_src()).prop_map(|(dst, src)| Instruction::Move { dst, src }),
+        (0usize..18, arb_dst(), arb_src(), arb_src()).prop_map(|(op, dst, a, b)| {
+            Instruction::Alu {
+                op: AluOp::ALL[op],
+                dst,
+                a,
+                b,
+            }
+        }),
+        (0usize..3, arb_dst(), arb_src()).prop_map(|(op, dst, src)| Instruction::Alu1 {
+            op: Alu1Op::ALL[op],
+            dst,
+            src,
+        }),
+        any::<i32>().prop_map(|off| Instruction::Br { off }),
+        (0usize..4, arb_src(), any::<i32>()).prop_map(|(c, src, off)| Instruction::Bc {
+            cond: Cond::ALL[c],
+            src,
+            off,
+        }),
+        arb_src().prop_map(|target| Instruction::Jmp { target }),
+        (arb_dreg(), any::<i32>()).prop_map(|(link, off)| Instruction::Jal { link, off }),
+        (
+            prop::bool::ANY,
+            arb_src(),
+            prop::option::of(arb_src()),
+            prop::bool::ANY
+        )
+            .prop_map(|(p1, a, b, end)| Instruction::Send {
+                priority: if p1 { MsgPriority::P1 } else { MsgPriority::P0 },
+                a,
+                b,
+                end,
+            }),
+        Just(Instruction::Suspend),
+        Just(Instruction::Resume),
+        (arb_dst(), arb_src()).prop_map(|(dst, src)| Instruction::Rtag { dst, src }),
+        (arb_dst(), arb_src(), arb_src())
+            .prop_map(|(dst, src, tag)| Instruction::Wtag { dst, src, tag }),
+        (arb_dst(), arb_src(), arb_tag())
+            .prop_map(|(dst, src, tag)| Instruction::Check { dst, src, tag }),
+        (arb_src(), arb_src()).prop_map(|(key, value)| Instruction::Enter { key, value }),
+        (arb_dst(), arb_src()).prop_map(|(dst, key)| Instruction::Xlate { dst, key }),
+        (arb_dst(), arb_src()).prop_map(|(dst, key)| Instruction::Probe { dst, key }),
+        (0usize..7)
+            .prop_filter_map("markable", |i| {
+                let class = StatClass::ALL[i];
+                class.is_markable().then_some(Instruction::Mark { class })
+            }),
+        Just(Instruction::Halt),
+        Just(Instruction::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encoding_round_trips(instr in arb_instr()) {
+        let encoded = encode(&instr);
+        let decoded = decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, instr);
+    }
+
+    #[test]
+    fn slots_are_positive_and_bounded(instr in arb_instr()) {
+        let encoded = encode(&instr);
+        prop_assert!(encoded.slots() >= 1);
+        // No instruction should need more than 8 slots (4 words).
+        prop_assert!(encoded.slots() <= 8, "{} slots for {}", encoded.slots(), instr);
+        prop_assert_eq!(encoded.slot_values().len(), encoded.slots());
+    }
+
+    #[test]
+    fn footprint_is_additive_within_rounding(a in prop::collection::vec(arb_instr(), 0..20),
+                                              b in prop::collection::vec(arb_instr(), 0..20)) {
+        let mut ab = a.clone();
+        ab.extend(b.iter().cloned());
+        let fa = footprint_words(&a);
+        let fb = footprint_words(&b);
+        let fab = footprint_words(&ab);
+        prop_assert!(fab <= fa + fb);
+        prop_assert!(fab + 1 >= fa + fb);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-node memory: internal SRAM plus external DRAM, word-addressed.
+
+use jm_isa::consts::{EMEM_BASE, MEM_WORDS};
+use jm_isa::word::Word;
+
+/// A node's directly addressed memory: 4K words of on-chip SRAM at
+/// `0..EMEM_BASE` followed by 256K words of DRAM.
+///
+/// `Memory` is storage only; access *timing* and the memory-mapped queue and
+/// staging windows live in the execution engine.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<Word>,
+}
+
+impl Memory {
+    /// Creates nil-initialized memory.
+    pub fn new() -> Memory {
+        Memory {
+            words: vec![Word::NIL; MEM_WORDS as usize],
+        }
+    }
+
+    /// Reads a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range; callers bounds-check first (the
+    /// execution engine raises a Bounds fault instead).
+    #[inline]
+    pub fn read(&self, addr: u32) -> Word {
+        self.words[addr as usize]
+    }
+
+    /// Writes a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn write(&mut self, addr: u32, word: Word) {
+        self.words[addr as usize] = word;
+    }
+
+    /// Whether an address is in range.
+    #[inline]
+    pub fn in_range(&self, addr: u32) -> bool {
+        addr < MEM_WORDS
+    }
+
+    /// Whether an address is in internal (on-chip) memory.
+    #[inline]
+    pub fn is_internal(addr: u32) -> bool {
+        addr < EMEM_BASE
+    }
+
+    /// Bulk-writes a slice starting at `base` (host-side loader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds memory.
+    pub fn load(&mut self, base: u32, words: &[Word]) {
+        let base = base as usize;
+        self.words[base..base + words.len()].copy_from_slice(words);
+    }
+
+    /// Reads `len` words starting at `base` (host-side extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds memory.
+    pub fn dump(&self, base: u32, len: u32) -> Vec<Word> {
+        let base = base as usize;
+        self.words[base..base + len as usize].to_vec()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new();
+        m.write(0, Word::int(1));
+        m.write(MEM_WORDS - 1, Word::int(2));
+        assert_eq!(m.read(0).as_i32(), 1);
+        assert_eq!(m.read(MEM_WORDS - 1).as_i32(), 2);
+        assert_eq!(m.read(100), Word::NIL);
+    }
+
+    #[test]
+    fn region_classification() {
+        assert!(Memory::is_internal(0));
+        assert!(Memory::is_internal(EMEM_BASE - 1));
+        assert!(!Memory::is_internal(EMEM_BASE));
+    }
+
+    #[test]
+    fn bulk_load_and_dump() {
+        let mut m = Memory::new();
+        let data = vec![Word::int(7), Word::int(8), Word::int(9)];
+        m.load(5000, &data);
+        assert_eq!(m.dump(5000, 3), data);
+    }
+}

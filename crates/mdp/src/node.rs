@@ -1,0 +1,476 @@
+//! The MDP node: architectural state, thread scheduling, dispatch, and
+//! fault machinery. Instruction semantics live in [`crate::exec`].
+
+use crate::config::{MdpConfig, QUEUE_VBASE, STAGING_FRAME, STAGING_VBASE};
+use crate::memory::Memory;
+use crate::queue::MsgQueue;
+use crate::stats::NodeStats;
+use crate::xlate::XlateCache;
+use jm_asm::Program;
+use jm_isa::consts::{EMEM_BASE, FaultKind};
+use jm_isa::instr::{MsgPriority, StatClass};
+use jm_isa::node::{MeshDims, NodeId};
+use jm_isa::reg::{Priority, RegFile};
+use jm_isa::tag::Tag;
+use jm_isa::word::{SegDesc, Word};
+use std::fmt;
+use std::sync::Arc;
+
+/// Network injection acknowledgement, as seen by the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectAck {
+    /// Word accepted.
+    Accepted,
+    /// Injection FIFO full: the `SEND` takes a send fault and retries.
+    Stall,
+    /// Framing violation (first word not a valid route word) — a program
+    /// bug surfaced as a node error.
+    Rejected,
+}
+
+/// The node's view of the network injection port.
+///
+/// Messages are composed in a per-thread buffer by the `SEND` family and
+/// launched **whole** when the `SENDE` form retires — so a preempting
+/// handler can never interleave its words into another thread's open
+/// message, and a refused launch (send fault) retries without duplicating
+/// already-injected words.
+pub trait NetPort {
+    /// Atomically offers a complete message: route word plus payload.
+    fn commit(&mut self, priority: MsgPriority, words: &[Word]) -> InjectAck;
+}
+
+/// A fatal per-node condition. Real hardware would wedge or vector into a
+/// debugger; the simulator stops the node and surfaces the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// A fault was raised whose vector slot does not hold an `ip` word.
+    UnhandledFault {
+        /// The fault raised.
+        kind: FaultKind,
+        /// IP of the faulting instruction.
+        ip: u32,
+    },
+    /// A fault was raised while already in a fault handler (staging buffer
+    /// would be clobbered).
+    NestedFault {
+        /// The second fault.
+        kind: FaultKind,
+        /// IP of the second faulting instruction.
+        ip: u32,
+    },
+    /// The queue head is not a `msg`-tagged word — stream desynchronized.
+    QueueDesync(Word),
+    /// A message header named an out-of-range handler.
+    BadHandler(u32),
+    /// Execution ran off the end of the code image.
+    IpOutOfRange(u32),
+    /// The network rejected a send (bad route word framing).
+    BadSend(Word),
+    /// `RESUME` executed with a non-`ip` word in the staged IP slot.
+    BadResume(Word),
+    /// A thread suspended or halted while mid-message (network port locked
+    /// without a terminating `SENDE`).
+    OpenMessage,
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::UnhandledFault { kind, ip } => {
+                write!(f, "unhandled {kind} fault at ip {ip}")
+            }
+            NodeError::NestedFault { kind, ip } => {
+                write!(f, "nested {kind} fault at ip {ip}")
+            }
+            NodeError::QueueDesync(w) => write!(f, "queue head is not a header: {w:?}"),
+            NodeError::BadHandler(ip) => write!(f, "message header names bad handler {ip}"),
+            NodeError::IpOutOfRange(ip) => write!(f, "instruction pointer {ip} out of range"),
+            NodeError::BadSend(w) => write!(f, "network rejected send of {w:?}"),
+            NodeError::BadResume(w) => write!(f, "staged ip is not an ip word: {w:?}"),
+            NodeError::OpenMessage => f.write_str("thread ended while composing a message"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// The message being handled by a priority level.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MsgCtx {
+    /// Total message length in words.
+    pub len: u32,
+}
+
+/// One J-Machine processing node.
+pub struct MdpNode {
+    pub(crate) id: NodeId,
+    pub(crate) dims: MeshDims,
+    pub(crate) config: MdpConfig,
+    pub(crate) regs: RegFile,
+    pub(crate) mem: Memory,
+    pub(crate) program: Arc<Program>,
+    /// First instruction index whose code word lies in external memory
+    /// (`u32::MAX` when all code is internal).
+    pub(crate) emem_code_from: u32,
+    pub(crate) queues: [MsgQueue; 2],
+    pub(crate) xlate: XlateCache,
+    /// Register staging frames (R0–3, A0–3, IP), one per priority bank.
+    pub(crate) staging: [[Word; 9]; 3],
+    /// Whether the background thread may run.
+    pub(crate) bg_runnable: bool,
+    /// Whether a handler is active at P0/P1.
+    pub(crate) active: [bool; 2],
+    pub(crate) msg_ctx: [Option<MsgCtx>; 2],
+    /// Cycle-attribution class per bank.
+    pub(crate) class: [StatClass; 3],
+    /// Entry IP of the thread running in each bank (per-handler stats).
+    pub(crate) cur_handler: [u32; 3],
+    /// Per-bank message-composition buffers: words accumulated by `SEND`
+    /// instructions, launched whole at the `SENDE`.
+    pub(crate) compose: [Vec<Word>; 3],
+    /// Per bank: the composed message is complete and awaiting a
+    /// successful commit (retried across send faults).
+    pub(crate) commit_pending: [bool; 3],
+    /// Whether each bank is inside a fault handler.
+    pub(crate) in_fault: [bool; 3],
+    /// Fault state specials.
+    pub(crate) fip: u32,
+    pub(crate) fval: Word,
+    pub(crate) faddr: Word,
+    pub(crate) busy_until: u64,
+    pub(crate) halted: bool,
+    pub(crate) error: Option<NodeError>,
+    pub(crate) stats: NodeStats,
+}
+
+impl fmt::Debug for MdpNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MdpNode")
+            .field("id", &self.id)
+            .field("halted", &self.halted)
+            .field("bg_runnable", &self.bg_runnable)
+            .field("active", &self.active)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What the scheduler decided for this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Exec(Priority),
+    Dispatch(MsgPriority),
+    Idle,
+    Stopped,
+}
+
+impl MdpNode {
+    /// Creates a node, loads the shared program image (code placement, data
+    /// blocks), and prepares the background thread if the program declares
+    /// an entry point and `start_background` is set.
+    pub fn new(
+        id: NodeId,
+        dims: MeshDims,
+        program: Arc<Program>,
+        config: MdpConfig,
+        start_background: bool,
+    ) -> MdpNode {
+        let mut mem = Memory::new();
+        for block in &program.data {
+            if !block.init.is_empty() {
+                mem.load(block.base, &block.init);
+            }
+        }
+        // Compute where code crosses into external memory (2 instructions
+        // per word, nominally).
+        let emem_code_from = if program.code_base >= EMEM_BASE {
+            0
+        } else {
+            let imem_words = EMEM_BASE - program.code_base;
+            let boundary = imem_words.saturating_mul(2);
+            if (boundary as usize) < program.code.len() {
+                boundary
+            } else {
+                u32::MAX
+            }
+        };
+        let mut regs = RegFile::new();
+        let bg_entry = if start_background { program.entry } else { None };
+        let bg_runnable = bg_entry.is_some();
+        if let Some(entry) = bg_entry {
+            regs.bank_mut(Priority::Background).ip = entry;
+        }
+        let cur_handler = [bg_entry.unwrap_or(0), 0, 0];
+        MdpNode {
+            id,
+            dims,
+            config,
+            regs,
+            mem,
+            program,
+            emem_code_from,
+            queues: [
+                MsgQueue::new(config.queue0_words),
+                MsgQueue::new(config.queue1_words),
+            ],
+            xlate: XlateCache::new(config.xlate_entries),
+            staging: [[Word::NIL; 9]; 3],
+            bg_runnable,
+            active: [false, false],
+            msg_ctx: [None, None],
+            class: [StatClass::Compute; 3],
+            cur_handler,
+            compose: Default::default(),
+            commit_pending: [false; 3],
+            in_fault: [false; 3],
+            fip: 0,
+            fval: Word::NIL,
+            faddr: Word::NIL,
+            busy_until: 0,
+            halted: false,
+            error: None,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// The node's fatal error, if it stopped.
+    pub fn error(&self) -> Option<&NodeError> {
+        self.error.as_ref()
+    }
+
+    /// Whether the node executed `HALT`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether the node has any runnable or pending work.
+    pub fn has_work(&self) -> bool {
+        if self.error.is_some() || self.halted {
+            return false;
+        }
+        self.bg_runnable
+            || self.active[0]
+            || self.active[1]
+            || !self.queues[0].is_empty()
+            || !self.queues[1].is_empty()
+    }
+
+    /// Whether messages remain queued (useful to detect work stranded at a
+    /// halted or errored node).
+    pub fn queued_words(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+
+    /// Host access: reads a memory word.
+    pub fn read_mem(&self, addr: u32) -> Word {
+        self.mem.read(addr)
+    }
+
+    /// Host access: writes a memory word.
+    pub fn write_mem(&mut self, addr: u32, word: Word) {
+        self.mem.write(addr, word);
+    }
+
+    /// Host access: bulk-reads memory.
+    pub fn dump_mem(&self, base: u32, len: u32) -> Vec<Word> {
+        self.mem.dump(base, len)
+    }
+
+    /// Installs a fault vector: the handler's `ip` word at the vector slot.
+    pub fn install_vector(&mut self, kind: FaultKind, handler_ip: u32) {
+        self.mem.write(kind.vector(), Word::ip(handler_ip));
+    }
+
+    /// Offers one arriving word to a message queue, returning `false` when
+    /// the queue is full (the network must hold the word — backpressure).
+    pub fn deliver(&mut self, priority: MsgPriority, word: Word) -> bool {
+        self.queues[priority.index()].push(word)
+    }
+
+    /// Queue occupancy high-water mark.
+    pub fn queue_high_water(&self, priority: MsgPriority) -> usize {
+        self.queues[priority.index()].high_water()
+    }
+
+    fn schedule(&self) -> Decision {
+        if self.error.is_some() || self.halted {
+            return Decision::Stopped;
+        }
+        if self.active[1] {
+            return Decision::Exec(Priority::P1);
+        }
+        if self.queues[1].header().is_some() {
+            return Decision::Dispatch(MsgPriority::P1);
+        }
+        if self.active[0] {
+            return Decision::Exec(Priority::P0);
+        }
+        if self.queues[0].header().is_some() {
+            return Decision::Dispatch(MsgPriority::P0);
+        }
+        if self.bg_runnable {
+            return Decision::Exec(Priority::Background);
+        }
+        Decision::Idle
+    }
+
+    /// Advances the node at cycle `now`. Call once per machine cycle.
+    pub fn tick(&mut self, now: u64, net: &mut dyn NetPort) {
+        if now < self.busy_until {
+            return;
+        }
+        match self.schedule() {
+            Decision::Stopped => {}
+            Decision::Idle => {
+                self.stats.add_cycles(StatClass::Idle, 1);
+                self.busy_until = now + 1;
+            }
+            Decision::Dispatch(mp) => self.dispatch(mp, now),
+            Decision::Exec(priority) => self.exec_slice(priority, now, net),
+        }
+    }
+
+    fn dispatch(&mut self, mp: MsgPriority, now: u64) {
+        let q = mp.index();
+        let header = match self.queues[q].header() {
+            Some(Ok(h)) => h,
+            Some(Err(w)) => {
+                self.error = Some(NodeError::QueueDesync(w));
+                return;
+            }
+            None => unreachable!("dispatch without header"),
+        };
+        if header.ip as usize >= self.program.code.len() {
+            self.error = Some(NodeError::BadHandler(header.ip));
+            return;
+        }
+        let priority = if mp == MsgPriority::P0 {
+            Priority::P0
+        } else {
+            Priority::P1
+        };
+        let head_slot = self.queues[q].head_slot() as u32;
+        let bank = self.regs.bank_mut(priority);
+        bank.ip = header.ip;
+        // A3 := descriptor of the message, inside the queue window.
+        bank.a[3] = SegDesc::new(QUEUE_VBASE[q] + head_slot, header.len).to_word();
+        self.active[q] = true;
+        self.msg_ctx[q] = Some(MsgCtx { len: header.len });
+        self.class[priority.index()] = StatClass::Compute;
+        self.cur_handler[priority.index()] = header.ip;
+        self.compose[priority.index()].clear();
+        self.commit_pending[priority.index()] = false;
+        self.stats.threads += 1;
+        self.stats.msgs_received += 1;
+        let entry = self.stats.handlers.entry(header.ip).or_default();
+        entry.threads += 1;
+        entry.msg_words += u64::from(header.len);
+        let cost = self.config.timing.dispatch;
+        self.stats.add_cycles(StatClass::Dispatch, cost);
+        self.busy_until = now + cost;
+    }
+
+    /// Ends the thread at `priority`: pops its message (if any) and clears
+    /// activity. Background suspension parks the background thread for good.
+    pub(crate) fn end_thread(&mut self, priority: Priority) {
+        if !self.compose[priority.index()].is_empty() {
+            self.error = Some(NodeError::OpenMessage);
+            return;
+        }
+        match priority {
+            Priority::Background => {
+                self.bg_runnable = false;
+            }
+            Priority::P0 | Priority::P1 => {
+                let q = if priority == Priority::P0 { 0 } else { 1 };
+                if let Some(ctx) = self.msg_ctx[q].take() {
+                    self.queues[q].pop_msg(ctx.len as usize);
+                }
+                self.active[q] = false;
+            }
+        }
+        self.in_fault[priority.index()] = false;
+        self.class[priority.index()] = StatClass::Compute;
+    }
+
+    /// Raises a fault in `priority`'s bank: saves registers to the staging
+    /// frame, latches `FIP`/`FVAL`/`FADDR`, and vectors. Returns the cost,
+    /// or stops the node if the vector is not installed or a fault handler
+    /// faulted.
+    pub(crate) fn raise_fault(
+        &mut self,
+        priority: Priority,
+        kind: FaultKind,
+        val: Word,
+        addr: Word,
+    ) -> u64 {
+        self.stats.count_fault(kind);
+        let bank_index = priority.index();
+        let ip = self.regs.bank(priority).ip;
+        if self.in_fault[bank_index] {
+            self.error = Some(NodeError::NestedFault { kind, ip });
+            return 0;
+        }
+        let vector = self.mem.read(kind.vector());
+        if vector.tag() != Tag::Ip || vector.bits() as usize >= self.program.code.len() {
+            self.error = Some(NodeError::UnhandledFault { kind, ip });
+            return 0;
+        }
+        // Hardware staging save.
+        let bank = self.regs.bank(priority);
+        let mut frame = [Word::NIL; 9];
+        frame[..4].copy_from_slice(&bank.r);
+        frame[4..8].copy_from_slice(&bank.a);
+        frame[8] = Word::ip(ip);
+        self.staging[bank_index] = frame;
+        self.fip = ip;
+        self.fval = val;
+        self.faddr = addr;
+        self.in_fault[bank_index] = true;
+        self.regs.bank_mut(priority).ip = vector.bits();
+        // Attribute fault entry according to its nature.
+        let class = match kind {
+            FaultKind::CFutRead | FaultKind::FutUse => StatClass::Sync,
+            FaultKind::XlateMiss => StatClass::Xlate,
+            _ => self.class[bank_index],
+        };
+        self.class[bank_index] = class;
+        self.config.timing.fault_entry
+    }
+
+    /// Reads a staging-window word (memory-mapped at [`STAGING_VBASE`]).
+    pub(crate) fn staging_read(&self, addr: u32) -> Option<Word> {
+        let off = addr - STAGING_VBASE;
+        let bank = (off / STAGING_FRAME) as usize;
+        let slot = (off % STAGING_FRAME) as usize;
+        if bank < 3 && slot < 9 {
+            Some(self.staging[bank][slot])
+        } else {
+            None
+        }
+    }
+
+    /// Writes a staging-window word.
+    pub(crate) fn staging_write(&mut self, addr: u32, word: Word) -> bool {
+        let off = addr - STAGING_VBASE;
+        let bank = (off / STAGING_FRAME) as usize;
+        let slot = (off % STAGING_FRAME) as usize;
+        if bank < 3 && slot < 9 {
+            self.staging[bank][slot] = word;
+            true
+        } else {
+            false
+        }
+    }
+}

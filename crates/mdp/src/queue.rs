@@ -1,0 +1,201 @@
+//! The hardware message queues.
+//!
+//! Arriving messages are buffered in a ring of words carved from on-chip
+//! SRAM. Words stream in from the network at up to 0.5 words/cycle; a task
+//! is dispatched as soon as the header word of the queue-head message is
+//! present, and handler reads of argument words that have not arrived yet
+//! stall the processor (§2.1). A full queue refuses delivery, which
+//! backpressures the network (§5 discusses the consequences).
+
+use jm_isa::tag::Tag;
+use jm_isa::word::{MsgHeader, Word};
+
+/// One priority level's message queue.
+#[derive(Debug, Clone)]
+pub struct MsgQueue {
+    buf: Vec<Word>,
+    /// Ring index of the first word of the head message.
+    head: usize,
+    /// Words currently stored.
+    len: usize,
+    /// High-water mark of `len`.
+    hwm: usize,
+    /// Cycles during which a delivery was refused (overflow pressure).
+    refusals: u64,
+}
+
+impl MsgQueue {
+    /// Creates an empty queue of `capacity` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> MsgQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        MsgQueue {
+            buf: vec![Word::NIL; capacity as usize],
+            head: 0,
+            len: 0,
+            hwm: 0,
+            refusals: 0,
+        }
+    }
+
+    /// Queue capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Words currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of buffered words.
+    pub fn high_water(&self) -> usize {
+        self.hwm
+    }
+
+    /// Number of refused deliveries (queue-full backpressure events).
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+
+    /// Accepts one arriving word, or refuses it if the queue is full.
+    pub fn push(&mut self, word: Word) -> bool {
+        if self.len == self.buf.len() {
+            self.refusals += 1;
+            return false;
+        }
+        let slot = (self.head + self.len) % self.buf.len();
+        self.buf[slot] = word;
+        self.len += 1;
+        self.hwm = self.hwm.max(self.len);
+        true
+    }
+
+    /// The word at `offset` from the head message's first word, if it has
+    /// arrived.
+    pub fn get(&self, offset: usize) -> Option<Word> {
+        if offset < self.len {
+            Some(self.buf[(self.head + offset) % self.buf.len()])
+        } else {
+            None
+        }
+    }
+
+    /// Ring slot index of the head message's first word (used to build the
+    /// `A3` descriptor into the queue window).
+    pub fn head_slot(&self) -> usize {
+        self.head
+    }
+
+    /// Reads the word in ring slot `slot` if it currently holds an arrived
+    /// word.
+    pub fn read_slot(&self, slot: usize) -> Option<Word> {
+        let cap = self.buf.len();
+        let offset = (slot + cap - self.head) % cap;
+        self.get(offset)
+    }
+
+    /// The head message's header, if its header word has arrived and is
+    /// well-formed. Returns `Err(word)` if the head word is not `msg`-tagged
+    /// (queue desynchronization — a machine-level error).
+    pub fn header(&self) -> Option<Result<MsgHeader, Word>> {
+        let word = self.get(0)?;
+        if word.tag() == Tag::Msg {
+            Some(Ok(MsgHeader::from_word(word)))
+        } else {
+            Some(Err(word))
+        }
+    }
+
+    /// Whether the head message has fully arrived.
+    pub fn head_complete(&self) -> bool {
+        match self.header() {
+            Some(Ok(h)) => self.len >= h.len as usize,
+            _ => false,
+        }
+    }
+
+    /// Removes the head message (`words` long, as given by its header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `words` words are buffered.
+    pub fn pop_msg(&mut self, words: usize) {
+        assert!(words <= self.len, "popping an incomplete message");
+        self.head = (self.head + words) % self.buf.len();
+        self.len -= words;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr(ip: u32, len: u32) -> Word {
+        MsgHeader::new(ip, len).to_word()
+    }
+
+    #[test]
+    fn streams_and_dispatches_on_header() {
+        let mut q = MsgQueue::new(8);
+        assert!(q.header().is_none());
+        assert!(q.push(hdr(5, 3)));
+        let h = q.header().unwrap().unwrap();
+        assert_eq!((h.ip, h.len), (5, 3));
+        assert!(!q.head_complete());
+        assert_eq!(q.get(1), None); // argument not yet arrived → stall
+        q.push(Word::int(1));
+        q.push(Word::int(2));
+        assert!(q.head_complete());
+        assert_eq!(q.get(2), Some(Word::int(2)));
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let mut q = MsgQueue::new(4);
+        q.push(hdr(1, 2));
+        q.push(Word::int(10));
+        q.pop_msg(2);
+        // Now head = 2; a 3-word message wraps.
+        q.push(hdr(2, 3));
+        q.push(Word::int(20));
+        q.push(Word::int(21));
+        assert!(q.head_complete());
+        assert_eq!(q.get(2), Some(Word::int(21)));
+        assert_eq!(q.head_slot(), 2);
+        assert_eq!(q.read_slot(0), Some(Word::int(21))); // wrapped slot
+    }
+
+    #[test]
+    fn refuses_when_full() {
+        let mut q = MsgQueue::new(2);
+        assert!(q.push(hdr(1, 3)));
+        assert!(q.push(Word::int(1)));
+        assert!(!q.push(Word::int(2)));
+        assert_eq!(q.refusals(), 1);
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn detects_desynchronized_head() {
+        let mut q = MsgQueue::new(4);
+        q.push(Word::int(42));
+        assert!(matches!(q.header(), Some(Err(w)) if w.as_i32() == 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete message")]
+    fn pop_requires_arrival() {
+        let mut q = MsgQueue::new(4);
+        q.push(hdr(1, 3));
+        q.pop_msg(3);
+    }
+}

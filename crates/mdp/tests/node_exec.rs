@@ -1,0 +1,537 @@
+//! Behavioural tests of the MDP node: timing, dispatch, presence-tag
+//! faults, queue streaming, send faults, and name translation.
+
+use jm_asm::{hdr, seg, Builder, Program, Region};
+use jm_isa::consts::FaultKind;
+use jm_isa::instr::{AluOp, MsgPriority, StatClass};
+use jm_isa::node::{MeshDims, NodeId};
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::tag::Tag;
+use jm_isa::word::{MsgHeader, Word};
+use jm_mdp::{InjectAck, MdpConfig, MdpNode, NetPort};
+use std::sync::Arc;
+
+/// A recording network port; optionally stalls the first `stall_count`
+/// commit attempts.
+#[derive(Default)]
+struct MockNet {
+    /// Flattened committed words with their priority and end-of-message
+    /// marker, mirroring the old word-wise trace shape.
+    words: Vec<(MsgPriority, Word, bool)>,
+    stall_count: u32,
+}
+
+impl NetPort for MockNet {
+    fn commit(&mut self, priority: MsgPriority, words: &[Word]) -> InjectAck {
+        if self.stall_count > 0 {
+            self.stall_count -= 1;
+            return InjectAck::Stall;
+        }
+        for (i, &w) in words.iter().enumerate() {
+            self.words.push((priority, w, i + 1 == words.len()));
+        }
+        InjectAck::Accepted
+    }
+}
+
+fn node_for(program: Program) -> MdpNode {
+    MdpNode::new(
+        NodeId(0),
+        MeshDims::new(2, 2, 2),
+        Arc::new(program),
+        MdpConfig::default(),
+        true,
+    )
+}
+
+/// Runs the node until it has no work or `max` cycles pass; returns the
+/// cycle count at quiescence.
+fn run(node: &mut MdpNode, net: &mut MockNet, max: u64) -> u64 {
+    for now in 0..max {
+        if let Some(err) = node.error() {
+            panic!("node error at cycle {now}: {err}");
+        }
+        if !node.has_work() && now >= 1 {
+            return now;
+        }
+        node.tick(now, net);
+    }
+    panic!("node did not quiesce in {max} cycles");
+}
+
+#[test]
+fn background_arithmetic_and_store() {
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 2);
+    b.label("main");
+    b.movi(R0, 20);
+    b.alu(AluOp::Mul, R0, R0, 2);
+    b.addi(R0, R0, 2);
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.halt();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.read_mem(out.base).as_i32(), 42);
+    assert!(node.is_halted());
+}
+
+#[test]
+fn timing_matches_paper_model() {
+    // MOVE reg,reg = 1 cycle; with an Imem operand = 2; with an Emem
+    // operand = 6; dispatch = 4. Measure via stats.
+    let mut b = Builder::new();
+    b.reserve("fast", Region::Imem, 1);
+    b.reserve("slow", Region::Emem, 1);
+    b.label("main");
+    b.mov(R0, R1); // 1
+    b.load_seg(A0, "fast"); // imm ext: 1 + 1 = 2
+    b.load_seg(A1, "slow"); // 2
+    b.mov(R0, MemRef::disp(A0, 0)); // 2
+    b.mov(R0, MemRef::disp(A1, 0)); // 6
+    b.halt(); // 1
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.stats().class_cycles(StatClass::Compute), 14);
+    assert_eq!(node.stats().instructions, 6);
+}
+
+#[test]
+fn message_dispatch_runs_handler() {
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 1);
+    b.label("handler");
+    b.mov(R0, MemRef::disp(A3, 1)); // first argument
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.suspend();
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let handler = p.handler("handler");
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    node.deliver(MsgPriority::P0, MsgHeader::new(handler, 2).to_word());
+    node.deliver(MsgPriority::P0, Word::int(77));
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.read_mem(out.base).as_i32(), 77);
+    assert_eq!(node.stats().threads, 1);
+    assert_eq!(node.stats().msgs_received, 1);
+    assert_eq!(node.stats().class_cycles(StatClass::Dispatch), 4);
+    let hs = &node.stats().handlers[&handler];
+    assert_eq!(hs.threads, 1);
+    assert_eq!(hs.msg_words, 2);
+}
+
+#[test]
+fn handler_stalls_until_argument_arrives() {
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 1);
+    b.label("handler");
+    b.mov(R0, MemRef::disp(A3, 1));
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.suspend();
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let handler = p.handler("handler");
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    node.deliver(MsgPriority::P0, MsgHeader::new(handler, 2).to_word());
+    // Argument arrives only at cycle 40.
+    for now in 0..80 {
+        if now == 40 {
+            node.deliver(MsgPriority::P0, Word::int(5));
+        }
+        node.tick(now, &mut net);
+        assert!(node.error().is_none(), "{:?}", node.error());
+    }
+    assert_eq!(node.read_mem(out.base).as_i32(), 5);
+    assert!(node.stats().arrival_stalls > 20);
+}
+
+#[test]
+fn priority_one_preempts_priority_zero() {
+    // A long-running P0 handler is interrupted by a P1 message; the P1
+    // handler's store must land while the P0 handler still runs.
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 2);
+    b.label("p0_handler");
+    b.movi(R0, 200);
+    b.label("loop");
+    b.subi(R0, R0, 1);
+    b.bnz(R0, "loop");
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.suspend();
+    b.label("p1_handler");
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 1), Word::int(1));
+    b.suspend();
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let (h0, h1) = (p.handler("p0_handler"), p.handler("p1_handler"));
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    node.deliver(MsgPriority::P0, MsgHeader::new(h0, 1).to_word());
+    let mut p1_done_at = None;
+    let mut p0_done_at = None;
+    for now in 0..2000 {
+        if now == 20 {
+            node.deliver(MsgPriority::P1, MsgHeader::new(h1, 1).to_word());
+        }
+        node.tick(now, &mut net);
+        if p1_done_at.is_none() && node.read_mem(out.base + 1).as_i32() == 1 {
+            p1_done_at = Some(now);
+        }
+        if p0_done_at.is_none() && node.read_mem(out.base).tag() == Tag::Int {
+            p0_done_at = Some(now);
+        }
+    }
+    let (p1_at, p0_at) = (p1_done_at.expect("p1 ran"), p0_done_at.expect("p0 finished"));
+    assert!(p1_at < p0_at, "P1 at {p1_at}, P0 at {p0_at}");
+    assert!(p1_at < 60, "P1 was not prompt: {p1_at}");
+}
+
+#[test]
+fn cfut_read_faults_and_resume_reexecutes() {
+    // The handler writes the value into the slot and RESUMEs; the faulting
+    // MOVE re-executes and succeeds.
+    let mut b = Builder::new();
+    b.data("slot", Region::Imem, vec![Word::cfut()]);
+    b.reserve("out", Region::Imem, 1);
+    b.label("main");
+    b.load_seg(A0, "slot");
+    b.mov(R1, MemRef::disp(A0, 0)); // faults: cfut
+    b.load_seg(A1, "out");
+    b.mov(MemRef::disp(A1, 0), R1);
+    b.halt();
+    // cfut fault handler: fill the slot, then resume.
+    b.label("cfut_handler");
+    b.load_seg(A0, "slot");
+    b.mov(MemRef::disp(A0, 0), Word::int(99));
+    b.resume();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let handler = p.handler("cfut_handler");
+    let mut node = node_for(p);
+    node.install_vector(FaultKind::CFutRead, handler);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 200);
+    assert_eq!(node.read_mem(out.base).as_i32(), 99);
+    assert_eq!(node.stats().fault_count(FaultKind::CFutRead), 1);
+    assert!(node.stats().class_cycles(StatClass::Sync) > 0);
+}
+
+#[test]
+fn fut_moves_but_faults_on_use() {
+    let mut b = Builder::new();
+    b.data("slot", Region::Imem, vec![Word::fut(7)]);
+    b.label("main");
+    b.load_seg(A0, "slot");
+    b.mov(R1, MemRef::disp(A0, 0)); // futures copy fine
+    b.addi(R2, R1, 1); // but using one faults
+    b.halt();
+    b.label("fut_handler");
+    b.halt();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let handler = p.handler("fut_handler");
+    let mut node = node_for(p);
+    node.install_vector(FaultKind::FutUse, handler);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.stats().fault_count(FaultKind::FutUse), 1);
+    assert_eq!(node.stats().fault_count(FaultKind::CFutRead), 0);
+}
+
+#[test]
+fn unhandled_fault_stops_the_node() {
+    let mut b = Builder::new();
+    b.label("main");
+    b.alu(AluOp::Div, R0, 1, 0);
+    b.halt();
+    b.entry("main");
+    let mut node = node_for(b.assemble().unwrap());
+    let mut net = MockNet::default();
+    for now in 0..10 {
+        node.tick(now, &mut net);
+    }
+    assert!(matches!(
+        node.error(),
+        Some(jm_mdp::NodeError::UnhandledFault { .. })
+    ));
+    assert!(!node.has_work());
+}
+
+#[test]
+fn send_builds_messages_and_retries_on_stall() {
+    let mut b = Builder::new();
+    b.label("main");
+    b.mov(R0, Special::Nnr);
+    b.send(MsgPriority::P0, R0);
+    b.send2e(MsgPriority::P0, hdr("main", 2), 5);
+    b.halt();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let mut node = node_for(p);
+    let mut net = MockNet {
+        stall_count: 3,
+        ..MockNet::default()
+    };
+    run(&mut node, &mut net, 200);
+    assert_eq!(net.words.len(), 3);
+    assert_eq!(net.words[0].1.tag(), Tag::Route);
+    assert!(!net.words[0].2);
+    assert_eq!(net.words[1].1.tag(), Tag::Msg);
+    assert_eq!(net.words[2].1.as_i32(), 5);
+    assert!(net.words[2].2, "last word must end the message");
+    assert_eq!(node.stats().send_faults, 3);
+    assert_eq!(node.stats().msgs_sent, 1);
+    assert_eq!(node.stats().sends, 2);
+}
+
+#[test]
+fn xlate_enter_probe_and_miss_fault() {
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 3);
+    b.label("main");
+    b.load_seg(A0, "out");
+    b.enter(Word::sym(5), Word::int(50));
+    b.xlate(R0, Word::sym(5));
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.probe(R1, Word::sym(6)); // miss → nil, no fault
+    b.check(R2, R1, Tag::Nil);
+    b.mov(MemRef::disp(A0, 1), R2);
+    b.xlate(R0, Word::sym(6)); // miss → fault
+    b.halt();
+    b.label("miss_handler");
+    b.enter(Word::sym(6), Word::int(60));
+    b.resume();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let handler = p.handler("miss_handler");
+    let mut node = node_for(p);
+    node.install_vector(FaultKind::XlateMiss, handler);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 200);
+    assert_eq!(node.read_mem(out.base).as_i32(), 50);
+    assert!(node.read_mem(out.base + 1).as_bool());
+    assert_eq!(node.stats().xlates, 4); // xlate + probe + miss + re-execute
+    assert_eq!(node.stats().xlate_misses, 2);
+    assert_eq!(node.stats().fault_count(FaultKind::XlateMiss), 1);
+}
+
+#[test]
+fn bounds_fault_on_bad_descriptor_and_index() {
+    let mut b = Builder::new();
+    b.data("buf", Region::Imem, vec![Word::int(0), Word::int(0)]);
+    b.label("main");
+    b.load_seg(A0, "buf");
+    b.mov(R0, MemRef::disp(A0, 2)); // out of bounds (len 2)
+    b.halt();
+    b.label("bounds_handler");
+    b.halt();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let handler = p.handler("bounds_handler");
+    let mut node = node_for(p);
+    node.install_vector(FaultKind::Bounds, handler);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.stats().fault_count(FaultKind::Bounds), 1);
+}
+
+#[test]
+fn mark_switches_attribution_for_free() {
+    let mut b = Builder::new();
+    b.label("main");
+    b.mark(StatClass::NnrCalc);
+    b.nop();
+    b.nop();
+    b.mark(StatClass::Compute);
+    b.nop();
+    b.halt();
+    b.entry("main");
+    let mut node = node_for(b.assemble().unwrap());
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.stats().class_cycles(StatClass::NnrCalc), 2);
+    assert_eq!(node.stats().class_cycles(StatClass::Compute), 2); // nop + halt
+    assert_eq!(node.stats().instructions, 4);
+}
+
+#[test]
+fn specials_report_identity() {
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 3);
+    b.label("main");
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), Special::Nid);
+    b.mov(MemRef::disp(A0, 1), Special::NNodes);
+    b.mov(MemRef::disp(A0, 2), Special::Nnr);
+    b.halt();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let mut node = MdpNode::new(
+        NodeId(5),
+        MeshDims::new(2, 2, 2),
+        Arc::new(p),
+        MdpConfig::default(),
+        true,
+    );
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.read_mem(out.base).as_i32(), 5);
+    assert_eq!(node.read_mem(out.base + 1).as_i32(), 8);
+    let route = node.read_mem(out.base + 2);
+    assert_eq!(route.tag(), Tag::Route);
+    // Node 5 in a 2x2x2 mesh is (1, 0, 1).
+    assert_eq!(route.bits() & 0x1f, 1);
+    assert_eq!((route.bits() >> 10) & 0x1f, 1);
+}
+
+#[test]
+fn call_and_return_convention() {
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 1);
+    b.label("main");
+    b.movi(R0, 3);
+    b.call("double");
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.halt();
+    b.label("double");
+    b.alu(AluOp::Add, R0, R0, R0);
+    b.ret();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.read_mem(out.base).as_i32(), 6);
+}
+
+#[test]
+fn seg_reference_via_message_and_queue_window_is_readonly() {
+    // A handler that tries to write into its message faults.
+    let mut b = Builder::new();
+    b.label("handler");
+    b.mov(MemRef::disp(A3, 1), Word::int(0));
+    b.suspend();
+    b.label("bounds_handler");
+    b.halt();
+    let p = b.assemble().unwrap();
+    let handler = p.handler("handler");
+    let bounds = p.handler("bounds_handler");
+    let mut node = node_for(p);
+    node.install_vector(FaultKind::Bounds, bounds);
+    let mut net = MockNet::default();
+    node.deliver(MsgPriority::P0, MsgHeader::new(handler, 2).to_word());
+    node.deliver(MsgPriority::P0, Word::int(1));
+    for now in 0..100 {
+        node.tick(now, &mut net);
+    }
+    assert_eq!(node.stats().fault_count(FaultKind::Bounds), 1);
+}
+
+#[test]
+fn emem_code_runs_slower() {
+    // Same loop, once with code in Imem and once padded into Emem.
+    fn loop_cycles(pad: usize) -> u64 {
+        let mut b = Builder::new();
+        b.label("main");
+        for _ in 0..pad {
+            b.nop();
+        }
+        b.label("start");
+        b.movi(R0, 100);
+        b.label("loop");
+        b.subi(R0, R0, 1);
+        b.bnz(R0, "loop");
+        b.halt();
+        if pad > 0 {
+            b.entry("start");
+        } else {
+            b.entry("main");
+        }
+        let mut node = node_for(b.assemble().unwrap());
+        let mut net = MockNet::default();
+        run(&mut node, &mut net, 100_000)
+    }
+    let fast = loop_cycles(0);
+    let slow = loop_cycles(9000); // pushes the loop body past the Imem boundary
+    assert!(
+        slow > fast * 2,
+        "Emem code should be much slower: {fast} vs {slow}"
+    );
+}
+
+#[test]
+fn wtag_builds_route_words_in_software() {
+    // The "NNR calc" pattern: compute a route word from a linear node id.
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 1);
+    b.label("main");
+    b.mark(StatClass::NnrCalc);
+    b.movi(R0, 5); // target node id in a 2x2x2 mesh
+    b.alu(AluOp::Rem, R1, R0, 2); // x = id % 2
+    b.alu(AluOp::Div, R0, R0, 2);
+    b.alu(AluOp::Rem, R2, R0, 2); // y
+    b.alu(AluOp::Div, R0, R0, 2); // z
+    b.alu(AluOp::Lsh, R2, R2, 5);
+    b.alu(AluOp::Lsh, R0, R0, 10);
+    b.alu(AluOp::Or, R1, R1, R2);
+    b.alu(AluOp::Or, R1, R1, R0);
+    b.wtag(R1, R1, Tag::Route.bits() as i32);
+    b.mark(StatClass::Compute);
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), R1);
+    b.halt();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 200);
+    let route = node.read_mem(out.base);
+    assert_eq!(route.tag(), Tag::Route);
+    assert_eq!(route.bits(), 1 | (0 << 5) | (1 << 10));
+    assert!(node.stats().class_cycles(StatClass::NnrCalc) > 10);
+}
+
+#[test]
+fn data_blocks_load_and_seg_resolves() {
+    let mut b = Builder::new();
+    b.data(
+        "tbl",
+        Region::Emem,
+        vec![Word::int(10), Word::int(20), Word::int(30)],
+    );
+    b.reserve("out", Region::Imem, 1);
+    b.label("main");
+    b.mov(A0, seg("tbl"));
+    b.movi(R1, 2);
+    b.mov(R0, MemRef::reg(A0, R1));
+    b.load_seg(A1, "out");
+    b.mov(MemRef::disp(A1, 0), R0);
+    b.halt();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+    let out = p.segment("out");
+    let mut node = node_for(p);
+    let mut net = MockNet::default();
+    run(&mut node, &mut net, 100);
+    assert_eq!(node.read_mem(out.base).as_i32(), 30);
+}

@@ -1,0 +1,115 @@
+//! Flits: the 18-bit (half-word) units moved by channels each cycle.
+
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::Coord;
+use jm_isa::word::Word;
+
+/// A flit in flight.
+///
+/// Physically a flit is half a word (channels carry 0.5 words/cycle). For
+/// simulation convenience every flit carries the full routing destination;
+/// the *second* flit of each payload word carries the word itself, so the
+/// ejection port reassembles words by accepting `payload: Some(_)` flits.
+/// Route-word flits carry no payload — the route word is consumed by the
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Destination coordinates (from the message's route word).
+    pub dest: Coord,
+    /// The word completed by this flit, if it is a word's second half
+    /// (and the word is payload rather than routing).
+    pub payload: Option<Word>,
+    /// Whether this is the first flit of its message (triggers output-port
+    /// allocation in routers).
+    pub head: bool,
+    /// Whether this is the last flit of its message (releases the path).
+    pub tail: bool,
+    /// Message priority (selects the virtual network).
+    pub priority: MsgPriority,
+    /// Cycle at which the message's first flit was injected, for latency
+    /// accounting.
+    pub inject_cycle: u64,
+    /// Earliest cycle at which this flit may leave the buffer it sits in
+    /// (prevents multi-hop moves within one cycle).
+    pub ready_cycle: u64,
+}
+
+impl Flit {
+    /// Expands one message word into its two flits.
+    ///
+    /// `is_route` marks the route word (stripped at ejection); `tail_word`
+    /// marks the message's final word.
+    pub fn pair_for_word(
+        dest: Coord,
+        word: Word,
+        is_route: bool,
+        head_word: bool,
+        tail_word: bool,
+        priority: MsgPriority,
+        inject_cycle: u64,
+        ready_cycle: u64,
+    ) -> [Flit; 2] {
+        let first = Flit {
+            dest,
+            payload: None,
+            head: head_word,
+            tail: false,
+            priority,
+            inject_cycle,
+            ready_cycle,
+        };
+        let second = Flit {
+            dest,
+            payload: if is_route { None } else { Some(word) },
+            head: false,
+            tail: tail_word,
+            priority,
+            inject_cycle,
+            ready_cycle,
+        };
+        [first, second]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_words_carry_no_payload() {
+        let dest = Coord::new(1, 2, 3);
+        let [a, b] = Flit::pair_for_word(
+            dest,
+            Word::int(5),
+            true,
+            true,
+            false,
+            MsgPriority::P0,
+            0,
+            0,
+        );
+        assert!(a.head && !b.head);
+        assert_eq!(a.payload, None);
+        assert_eq!(b.payload, None);
+    }
+
+    #[test]
+    fn payload_words_complete_on_second_flit() {
+        let dest = Coord::new(0, 0, 0);
+        let [a, b] = Flit::pair_for_word(
+            dest,
+            Word::int(9),
+            false,
+            false,
+            true,
+            MsgPriority::P1,
+            7,
+            9,
+        );
+        assert_eq!(a.payload, None);
+        assert_eq!(b.payload, Some(Word::int(9)));
+        assert!(!a.tail && b.tail);
+        assert_eq!(b.inject_cycle, 7);
+        assert_eq!(b.ready_cycle, 9);
+    }
+}

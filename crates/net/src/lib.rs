@@ -1,0 +1,58 @@
+//! # jm-net
+//!
+//! Flit-level simulator of the J-Machine's 3-D mesh network.
+//!
+//! The modelled hardware (paper §2.1–2.2):
+//!
+//! * deterministic, dimension-order (e-cube) wormhole routing [Dally 90];
+//! * channel bandwidth of **0.5 words/cycle** — a channel moves one 18-bit
+//!   flit (half-word) per cycle;
+//! * minimum latency of **1 cycle/hop** for the head flit;
+//! * **two message priorities** sharing each physical channel: priority-1
+//!   flits win channel arbitration and use separate buffers end to end;
+//! * **fixed-priority output arbitration** among input ports, with through
+//!   traffic preferred over injection — reproducing the unfairness the paper
+//!   observed during radix sort (§4.3.2: some nodes "may be unable to inject
+//!   a message into the network for an arbitrarily long period");
+//! * **backpressure**: full downstream buffers block upstream channels, and a
+//!   full injection FIFO surfaces to the processor as send faults.
+//!
+//! A message on the wire is the `route`-tagged destination word followed by
+//! the payload words (whose first word must be a `msg` header). Each word is
+//! two flits; the route word is stripped at the ejection port.
+//!
+//! # Example
+//!
+//! ```
+//! use jm_net::{Network, NetConfig, InjectResult};
+//! use jm_isa::{MeshDims, MsgPriority, NodeId, RouteWord, Word, MsgHeader};
+//!
+//! let mut net = Network::new(NetConfig::new(MeshDims::new(2, 1, 1)));
+//! let src = NodeId(0);
+//! let dims = net.config().dims;
+//! let route = RouteWord::new(dims.coord(NodeId(1))).to_word();
+//! let header = MsgHeader::new(100, 2).to_word();
+//!
+//! assert_eq!(net.inject(src, MsgPriority::P0, route, false), InjectResult::Accepted);
+//! assert_eq!(net.inject(src, MsgPriority::P0, header, false), InjectResult::Accepted);
+//! assert_eq!(net.inject(src, MsgPriority::P0, Word::int(7), true), InjectResult::Accepted);
+//!
+//! for _ in 0..40 { net.step(); }
+//! assert_eq!(net.pop_delivered(NodeId(1), MsgPriority::P0), Some(header));
+//! assert_eq!(net.pop_delivered(NodeId(1), MsgPriority::P0), Some(Word::int(7)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod flit;
+mod network;
+mod router;
+mod stats;
+
+pub use config::NetConfig;
+pub use flit::Flit;
+pub use network::{InjectResult, Network};
+pub use router::OutPort;
+pub use stats::NetStats;

@@ -1,0 +1,645 @@
+//! The whole-mesh network engine.
+
+use crate::config::NetConfig;
+use crate::flit::Flit;
+use crate::router::{ecube_route, Router, IN_INJECT, OUT_EJECT};
+use crate::stats::NetStats;
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::{Coord, NodeId, RouteWord};
+use jm_isa::tag::Tag;
+use jm_isa::word::Word;
+
+/// Result of offering one word to the injection port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectResult {
+    /// The word was accepted.
+    Accepted,
+    /// The injection FIFO is full — on the MDP this surfaces as a *send
+    /// fault* in the executing thread, which retries (§4.3.2).
+    Stall,
+    /// Framing error: the first word of a message must be a `route` word
+    /// naming an in-range destination, and a message must contain at least
+    /// one payload word.
+    BadRoute,
+}
+
+/// The 3-D mesh network: one router per node, stepped one cycle at a time.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetConfig,
+    routers: Vec<Router>,
+    cycle: u64,
+    stats: NetStats,
+    /// Dimension bisected for traffic accounting (0 = x, 1 = y, 2 = z).
+    bisect_dim: usize,
+    /// Crossing boundary: between coordinates `mid - 1` and `mid`.
+    bisect_mid: u8,
+    /// Flits currently inside buffers (not yet ejected).
+    in_flight: u64,
+}
+
+impl Network {
+    /// Creates an idle network.
+    pub fn new(config: NetConfig) -> Network {
+        let dims = config.dims;
+        let routers = dims.iter_nodes().map(|id| Router::new(dims.coord(id))).collect();
+        let extents = [dims.x, dims.y, dims.z];
+        let bisect_dim = (0..3).max_by_key(|&d| extents[d]).unwrap();
+        Network {
+            config,
+            routers,
+            cycle: 0,
+            stats: NetStats::default(),
+            bisect_dim,
+            bisect_mid: extents[bisect_dim] / 2,
+            in_flight: 0,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// The current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Flits currently buffered anywhere in the network (excluding ejected
+    /// words awaiting the node).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Whether the network holds no flits and no undelivered words.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight == 0
+            && self
+                .routers
+                .iter()
+                .all(|r| r.ejected[0].is_empty() && r.ejected[1].is_empty())
+    }
+
+    /// Offers one word to a node's injection port.
+    ///
+    /// `end` marks the final word of the message (the `SENDE` forms).
+    pub fn inject(
+        &mut self,
+        node: NodeId,
+        priority: MsgPriority,
+        word: Word,
+        end: bool,
+    ) -> InjectResult {
+        let cycle = self.cycle;
+        let inject_latency = self.config.inject_latency;
+        let fifo_cap = self.config.inject_fifo;
+        let dims = self.config.dims;
+        let router = &mut self.routers[node.index()];
+        let vnet = priority.index();
+        if router.inputs[vnet][IN_INJECT].len() + 2 > fifo_cap {
+            return InjectResult::Stall;
+        }
+        let framing = &mut router.inject[vnet];
+        let (dest, is_route, head_word) = match framing.dest {
+            None => {
+                if word.tag() != Tag::Route || end {
+                    return InjectResult::BadRoute;
+                }
+                let dest = RouteWord::from_word(word).dest;
+                if dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z {
+                    return InjectResult::BadRoute;
+                }
+                framing.dest = Some(dest);
+                framing.msg_start = cycle;
+                self.stats.injected_msgs += 1;
+                (dest, true, true)
+            }
+            Some(dest) => {
+                if end {
+                    framing.dest = None;
+                }
+                (dest, false, false)
+            }
+        };
+        let msg_start = router.inject[vnet].msg_start;
+        let pair = Flit::pair_for_word(
+            dest,
+            word,
+            is_route,
+            head_word,
+            end,
+            priority,
+            msg_start,
+            cycle + inject_latency,
+        );
+        for flit in pair {
+            router.inputs[vnet][IN_INJECT].push_back(flit);
+        }
+        router.occupancy += 2;
+        self.in_flight += 2;
+        InjectResult::Accepted
+    }
+
+    /// Atomically offers a whole message to a node's injection port: the
+    /// route word followed by at least one payload word. Either every word
+    /// is accepted or none is (the network interface composes messages in a
+    /// per-thread buffer and launches them whole, so a preempting handler
+    /// can never interleave words into an open message).
+    pub fn commit_msg(
+        &mut self,
+        node: NodeId,
+        priority: MsgPriority,
+        words: &[Word],
+    ) -> InjectResult {
+        let cycle = self.cycle;
+        let inject_latency = self.config.inject_latency;
+        let fifo_cap = self.config.inject_fifo;
+        let dims = self.config.dims;
+        let vnet = priority.index();
+        // Framing checks first.
+        if words.len() < 2 || words[0].tag() != Tag::Route {
+            return InjectResult::BadRoute;
+        }
+        let dest = RouteWord::from_word(words[0]).dest;
+        if dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z {
+            return InjectResult::BadRoute;
+        }
+        let router = &mut self.routers[node.index()];
+        if router.inject[vnet].dest.is_some() {
+            // A word-wise injection is mid-message on this port; mixing
+            // the two APIs is a programming error.
+            return InjectResult::BadRoute;
+        }
+        let needed = 2 * words.len();
+        if router.inputs[vnet][IN_INJECT].len() + needed > fifo_cap {
+            return InjectResult::Stall;
+        }
+        self.stats.injected_msgs += 1;
+        for (i, &word) in words.iter().enumerate() {
+            let pair = Flit::pair_for_word(
+                dest,
+                word,
+                i == 0,
+                i == 0,
+                i + 1 == words.len(),
+                priority,
+                cycle,
+                cycle + inject_latency,
+            );
+            for flit in pair {
+                router.inputs[vnet][IN_INJECT].push_back(flit);
+            }
+        }
+        router.occupancy += needed as u32;
+        self.in_flight += needed as u64;
+        InjectResult::Accepted
+    }
+
+    /// Next delivered payload word for a node, if any (peek).
+    pub fn delivered_front(&self, node: NodeId, priority: MsgPriority) -> Option<Word> {
+        self.routers[node.index()].ejected[priority.index()]
+            .front()
+            .copied()
+    }
+
+    /// Pops the next delivered payload word for a node.
+    pub fn pop_delivered(&mut self, node: NodeId, priority: MsgPriority) -> Option<Word> {
+        self.routers[node.index()].ejected[priority.index()].pop_front()
+    }
+
+    /// Number of delivered words waiting at a node.
+    pub fn delivered_len(&self, node: NodeId, priority: MsgPriority) -> usize {
+        self.routers[node.index()].ejected[priority.index()].len()
+    }
+
+    fn neighbor_id(&self, here: Coord, out: usize) -> NodeId {
+        let mut c = here;
+        match out {
+            0 => c.x += 1,
+            1 => c.x -= 1,
+            2 => c.y += 1,
+            3 => c.y -= 1,
+            4 => c.z += 1,
+            5 => c.z -= 1,
+            _ => unreachable!("eject has no neighbor"),
+        }
+        self.config.dims.id(c)
+    }
+
+    fn crosses_bisection(&self, here: Coord, out: usize) -> bool {
+        if self.bisect_mid == 0 {
+            return false;
+        }
+        let (dim, positive) = match out {
+            0 => (0, true),
+            1 => (0, false),
+            2 => (1, true),
+            3 => (1, false),
+            4 => (2, true),
+            5 => (2, false),
+            _ => return false,
+        };
+        if dim != self.bisect_dim {
+            return false;
+        }
+        let coord = [here.x, here.y, here.z][dim];
+        (positive && coord == self.bisect_mid - 1) || (!positive && coord == self.bisect_mid)
+    }
+
+    /// Advances the network by one cycle: every physical channel moves at
+    /// most one flit, priority-1 traffic first, input ports arbitrated in
+    /// fixed order with injection last.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        let flit_buffer = self.config.flit_buffer;
+        let eject_fifo = self.config.eject_fifo;
+        for n in 0..self.routers.len() {
+            if self.routers[n].is_idle() {
+                continue;
+            }
+            let here = self.routers[n].coord;
+            let mut in_used = [false; 7];
+            let mut out_used = [false; 7];
+            for &priority in [MsgPriority::P1, MsgPriority::P0].iter() {
+                let vnet = priority.index();
+                for in_port in 0..7 {
+                    if in_used[in_port] {
+                        continue;
+                    }
+                    let Some(&flit) = self.routers[n].inputs[vnet][in_port].front() else {
+                        continue;
+                    };
+                    if flit.ready_cycle > cycle {
+                        continue;
+                    }
+                    let out = ecube_route(here, flit.dest);
+                    if out_used[out] {
+                        continue;
+                    }
+                    match self.routers[n].owners[vnet][out] {
+                        Some(owner) if owner == in_port => {}
+                        Some(_) => continue,
+                        None => {
+                            if !flit.head {
+                                // A body flit whose path was already torn
+                                // down cannot occur under wormhole FIFO
+                                // discipline.
+                                debug_assert!(flit.head, "orphan body flit");
+                                continue;
+                            }
+                        }
+                    }
+                    // Space check downstream.
+                    if out == OUT_EJECT {
+                        if flit.payload.is_some()
+                            && self.routers[n].ejected[vnet].len() >= eject_fifo
+                        {
+                            continue;
+                        }
+                    } else {
+                        let m = self.neighbor_id(here, out).index();
+                        if self.routers[m].space(priority, out, flit_buffer) == 0 {
+                            continue;
+                        }
+                    }
+                    // Commit the move.
+                    let flit = self.routers[n].inputs[vnet][in_port]
+                        .pop_front()
+                        .expect("front checked");
+                    self.routers[n].occupancy -= 1;
+                    in_used[in_port] = true;
+                    out_used[out] = true;
+                    self.routers[n].owners[vnet][out] =
+                        if flit.tail { None } else { Some(in_port) };
+                    if out == OUT_EJECT {
+                        self.in_flight -= 1;
+                        if let Some(word) = flit.payload {
+                            self.routers[n].ejected[vnet].push_back(word);
+                            self.stats.delivered_words += 1;
+                        }
+                        if flit.tail {
+                            self.stats.delivered_msgs += 1;
+                            let latency = (cycle + 1).saturating_sub(flit.inject_cycle);
+                            self.stats.latency_sum += latency;
+                            self.stats.latency_max = self.stats.latency_max.max(latency);
+                        }
+                    } else {
+                        self.stats.flit_hops += 1;
+                        if self.crosses_bisection(here, out) {
+                            self.stats.bisection_flits += 1;
+                        }
+                        let m = self.neighbor_id(here, out).index();
+                        let mut moved = flit;
+                        moved.ready_cycle = cycle + 1;
+                        self.routers[m].inputs[vnet][out].push_back(moved);
+                        self.routers[m].occupancy += 1;
+                    }
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until idle or `max_cycles` is reached; returns `true` if the
+    /// network drained.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_idle() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jm_isa::node::MeshDims;
+    use jm_isa::word::MsgHeader;
+
+    /// Injects a whole message, pumping the network on FIFO stalls the way
+    /// the MDP retries after a send fault.
+    fn send_msg(net: &mut Network, from: NodeId, to: NodeId, priority: MsgPriority, words: &[Word]) {
+        let dims = net.config().dims;
+        let route = RouteWord::new(dims.coord(to)).to_word();
+        let offer = |net: &mut Network, word: Word, end: bool| loop {
+            match net.inject(from, priority, word, end) {
+                InjectResult::Accepted => break,
+                InjectResult::Stall => net.step(),
+                InjectResult::BadRoute => panic!("bad route"),
+            }
+        };
+        offer(net, route, false);
+        for (i, &w) in words.iter().enumerate() {
+            offer(net, w, i + 1 == words.len());
+        }
+    }
+
+    /// Steps until no flits remain buffered (delivered words may still be
+    /// waiting in ejection FIFOs). Returns whether the network settled.
+    fn settle(net: &mut Network, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if net.in_flight() == 0 {
+                return true;
+            }
+            net.step();
+        }
+        net.in_flight() == 0
+    }
+
+    fn drain(net: &mut Network, node: NodeId, priority: MsgPriority) -> Vec<Word> {
+        let mut out = Vec::new();
+        while let Some(w) = net.pop_delivered(node, priority) {
+            out.push(w);
+        }
+        out
+    }
+
+    #[test]
+    fn delivers_payload_in_order() {
+        let mut net = Network::new(NetConfig::new(MeshDims::new(4, 4, 4)));
+        let words = [
+            MsgHeader::new(10, 3).to_word(),
+            Word::int(1),
+            Word::int(2),
+        ];
+        send_msg(&mut net, NodeId(0), NodeId(63), MsgPriority::P0, &words);
+        assert!(settle(&mut net, 200));
+        assert_eq!(drain(&mut net, NodeId(63), MsgPriority::P0), words);
+        assert_eq!(net.stats().delivered_msgs, 1);
+    }
+
+    #[test]
+    fn loopback_delivery_works() {
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 2, 2)));
+        let words = [MsgHeader::new(5, 1).to_word()];
+        send_msg(&mut net, NodeId(3), NodeId(3), MsgPriority::P0, &words);
+        assert!(settle(&mut net, 50));
+        assert_eq!(drain(&mut net, NodeId(3), MsgPriority::P0), words);
+    }
+
+    #[test]
+    fn latency_slope_is_one_cycle_per_hop() {
+        // Send the same 2-word message over increasing distances and check
+        // the tail-delivery latency increases by 1 cycle per hop.
+        let mut latencies = Vec::new();
+        for x in 1..8u8 {
+            let mut net = Network::new(NetConfig::prototype_512());
+            let to = net.config().dims.id(Coord::new(x, 0, 0));
+            send_msg(
+                &mut net,
+                NodeId(0),
+                to,
+                MsgPriority::P0,
+                &[MsgHeader::new(9, 2).to_word(), Word::int(0)],
+            );
+            assert!(settle(&mut net, 300));
+            latencies.push(net.stats().latency_sum);
+        }
+        for pair in latencies.windows(2) {
+            assert_eq!(pair[1] - pair[0], 1, "latencies {latencies:?}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_half_word_per_cycle() {
+        // Stream many messages between adjacent nodes; steady-state word
+        // delivery rate must approach 0.5 words/cycle.
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 1, 1)));
+        let header = MsgHeader::new(1, 8).to_word();
+        let route = RouteWord::new(net.config().dims.coord(NodeId(1))).to_word();
+        // Per-message word stream: route, header, 7 payload words (last ends).
+        let mut pending: Vec<(Word, bool)> = Vec::new();
+        let mut cycles = 0u64;
+        while cycles < 4000 {
+            if pending.is_empty() {
+                pending.push((route, false));
+                pending.push((header, false));
+                for k in 0..7 {
+                    pending.push((Word::int(k), k == 6));
+                }
+                pending.reverse(); // pop from the back
+            }
+            // Offer words until the FIFO stalls.
+            while let Some(&(word, end)) = pending.last() {
+                match net.inject(NodeId(0), MsgPriority::P0, word, end) {
+                    InjectResult::Accepted => {
+                        pending.pop();
+                    }
+                    InjectResult::Stall => break,
+                    InjectResult::BadRoute => panic!("bad framing"),
+                }
+            }
+            net.step();
+            cycles += 1;
+            // Drain so ejection never backpressures.
+            while net.pop_delivered(NodeId(1), MsgPriority::P0).is_some() {}
+        }
+        let rate = net.stats().delivered_words as f64 / cycles as f64;
+        assert!(rate > 0.40 && rate <= 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn injection_fifo_stalls_when_full() {
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 1, 1)));
+        let dims = net.config().dims;
+        let route = RouteWord::new(dims.coord(NodeId(1))).to_word();
+        let mut accepted = 0;
+        loop {
+            let result = if accepted == 0 {
+                net.inject(NodeId(0), MsgPriority::P0, route, false)
+            } else {
+                net.inject(NodeId(0), MsgPriority::P0, Word::int(1), false)
+            };
+            match result {
+                InjectResult::Accepted => accepted += 1,
+                InjectResult::Stall => break,
+                InjectResult::BadRoute => panic!("bad route"),
+            }
+            assert!(accepted < 100, "never stalled");
+        }
+        assert_eq!(accepted as usize, net.config().inject_fifo / 2);
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 1, 1)));
+        // First word must be a route word.
+        assert_eq!(
+            net.inject(NodeId(0), MsgPriority::P0, Word::int(1), false),
+            InjectResult::BadRoute
+        );
+        // Empty messages are rejected.
+        let route = RouteWord::new(Coord::new(1, 0, 0)).to_word();
+        assert_eq!(
+            net.inject(NodeId(0), MsgPriority::P0, route, true),
+            InjectResult::BadRoute
+        );
+        // Out-of-range destinations are rejected.
+        let bad = RouteWord::new(Coord::new(5, 0, 0)).to_word();
+        assert_eq!(
+            net.inject(NodeId(0), MsgPriority::P0, bad, false),
+            InjectResult::BadRoute
+        );
+    }
+
+    #[test]
+    fn priority_one_wins_the_channel() {
+        // Saturate P0 between nodes 0→1, then send one P1 message; the P1
+        // message must be delivered while P0 traffic still flows.
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 1, 1)));
+        let dims = net.config().dims;
+        let route = RouteWord::new(dims.coord(NodeId(1))).to_word();
+        // Fill P0 fifo.
+        net.inject(NodeId(0), MsgPriority::P0, route, false);
+        for k in 0..3 {
+            net.inject(NodeId(0), MsgPriority::P0, MsgHeader::new(1, 3).to_word(), k == 2);
+        }
+        // One P1 message.
+        net.inject(NodeId(0), MsgPriority::P1, route, false);
+        net.inject(NodeId(0), MsgPriority::P1, MsgHeader::new(2, 1).to_word(), true);
+        let mut p1_cycle = None;
+        for c in 0..200 {
+            net.step();
+            if p1_cycle.is_none() && net.delivered_len(NodeId(1), MsgPriority::P1) > 0 {
+                p1_cycle = Some(c);
+            }
+        }
+        let p1_cycle = p1_cycle.expect("P1 delivered");
+        assert!(p1_cycle < 30, "P1 starved until {p1_cycle}");
+        assert!(net.delivered_len(NodeId(1), MsgPriority::P0) > 0);
+    }
+
+    #[test]
+    fn ejection_backpressure_blocks_and_recovers() {
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 1, 1)));
+        // Send more words than the eject FIFO holds and do not drain.
+        send_msg(
+            &mut net,
+            NodeId(0),
+            NodeId(1),
+            MsgPriority::P0,
+            &(0..12).map(Word::int).collect::<Vec<_>>(),
+        );
+        net.run(400);
+        let cap = net.config().eject_fifo;
+        assert_eq!(net.delivered_len(NodeId(1), MsgPriority::P0), cap);
+        assert!(net.in_flight() > 0, "remaining flits must be blocked");
+        // Drain and let the rest through.
+        let mut guard = 0;
+        while !net.is_idle() {
+            while net.pop_delivered(NodeId(1), MsgPriority::P0).is_some() {}
+            net.step();
+            guard += 1;
+            assert!(guard < 1000, "network failed to drain");
+        }
+        assert_eq!(net.stats().delivered_words, 12);
+    }
+
+    #[test]
+    fn counts_bisection_crossings() {
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 2, 4)));
+        // z = 0 → z = 3 crosses the z mid-plane exactly once; the route
+        // word and payload are 2 words = 4 flits.
+        let to = net.config().dims.id(Coord::new(0, 0, 3));
+        send_msg(
+            &mut net,
+            NodeId(0),
+            to,
+            MsgPriority::P0,
+            &[MsgHeader::new(1, 1).to_word()],
+        );
+        assert!(settle(&mut net, 200));
+        assert_eq!(net.stats().bisection_flits, 4);
+    }
+
+    #[test]
+    fn wormhole_blocking_holds_links() {
+        // Two messages from different sources to the same destination input:
+        // the second must wait for the first's tail (no interleaving).
+        let mut net = Network::new(NetConfig::new(MeshDims::new(3, 1, 1)));
+        let dest = NodeId(2);
+        let long: Vec<Word> = std::iter::once(MsgHeader::new(1, 12).to_word())
+            .chain((0..11).map(Word::int))
+            .collect();
+        send_msg(&mut net, NodeId(0), dest, MsgPriority::P0, &long);
+        let short = [MsgHeader::new(2, 2).to_word(), Word::int(99)];
+        send_msg(&mut net, NodeId(1), dest, MsgPriority::P0, &short);
+        // Drain while stepping: the eject FIFO is smaller than the long
+        // message, so delivery needs concurrent consumption.
+        let mut words = Vec::new();
+        for _ in 0..500 {
+            net.step();
+            while let Some(w) = net.pop_delivered(dest, MsgPriority::P0) {
+                words.push(w);
+            }
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(net.in_flight(), 0, "network failed to drain");
+        assert_eq!(words.len(), 14);
+        // Messages must be contiguous: find the short header and check the
+        // next word is its payload.
+        let pos = words
+            .iter()
+            .position(|w| *w == short[0])
+            .expect("short header delivered");
+        assert_eq!(words[pos + 1], short[1]);
+    }
+}

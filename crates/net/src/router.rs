@@ -1,0 +1,166 @@
+//! Per-node router state: input buffers, output ownership, ejection staging,
+//! and injection framing.
+
+use crate::flit::Flit;
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::Coord;
+use jm_isa::word::Word;
+use std::collections::VecDeque;
+
+/// Router ports: six mesh directions plus ejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutPort {
+    /// Toward larger X.
+    XPos,
+    /// Toward smaller X.
+    XNeg,
+    /// Toward larger Y.
+    YPos,
+    /// Toward smaller Y.
+    YNeg,
+    /// Toward larger Z.
+    ZPos,
+    /// Toward smaller Z.
+    ZNeg,
+    /// Delivery to the local node.
+    Eject,
+}
+
+impl OutPort {
+    /// All ports in arbitration order.
+    pub const ALL: [OutPort; 7] = [
+        OutPort::XPos,
+        OutPort::XNeg,
+        OutPort::YPos,
+        OutPort::YNeg,
+        OutPort::ZPos,
+        OutPort::ZNeg,
+        OutPort::Eject,
+    ];
+
+    /// Port index (0–6).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decodes a port index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 6`.
+    #[inline]
+    pub fn from_index(index: usize) -> OutPort {
+        Self::ALL[index]
+    }
+}
+
+/// Number of input ports: six directional channels plus injection.
+pub(crate) const IN_PORTS: usize = 7;
+/// Index of the injection input port.
+pub(crate) const IN_INJECT: usize = 6;
+/// Number of output ports: six directional channels plus ejection.
+pub(crate) const OUT_PORTS: usize = 7;
+/// Index of the ejection output port.
+pub(crate) const OUT_EJECT: usize = 6;
+
+/// Computes the e-cube (dimension-order) output port at `here` for a flit
+/// destined for `dest`: resolve X first, then Y, then Z, then eject.
+#[inline]
+pub(crate) fn ecube_route(here: Coord, dest: Coord) -> usize {
+    if dest.x != here.x {
+        if dest.x > here.x {
+            0
+        } else {
+            1
+        }
+    } else if dest.y != here.y {
+        if dest.y > here.y {
+            2
+        } else {
+            3
+        }
+    } else if dest.z != here.z {
+        if dest.z > here.z {
+            4
+        } else {
+            5
+        }
+    } else {
+        OUT_EJECT
+    }
+}
+
+/// Network-interface framing state for one priority's injection stream.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InjectState {
+    /// Destination of the message currently being composed, if any.
+    pub dest: Option<Coord>,
+    /// Inject cycle of the current message's route word (for latency stats).
+    pub msg_start: u64,
+}
+
+/// One node's router.
+#[derive(Debug, Clone)]
+pub(crate) struct Router {
+    pub coord: Coord,
+    /// Input buffers: `[vnet][in_port]`. Port 6 is the injection FIFO.
+    pub inputs: [[VecDeque<Flit>; IN_PORTS]; 2],
+    /// Output ownership: `[vnet][out_port]` → owning input port.
+    pub owners: [[Option<usize>; OUT_PORTS]; 2],
+    /// Ejected payload words awaiting the node, per vnet.
+    pub ejected: [VecDeque<Word>; 2],
+    /// Injection framing per vnet.
+    pub inject: [InjectState; 2],
+    /// Total flits across all input buffers (cheap activity check).
+    pub occupancy: u32,
+}
+
+impl Router {
+    pub(crate) fn new(coord: Coord) -> Router {
+        Router {
+            coord,
+            inputs: Default::default(),
+            owners: Default::default(),
+            ejected: Default::default(),
+            inject: Default::default(),
+            occupancy: 0,
+        }
+    }
+
+    /// Whether any work could possibly happen at this router.
+    #[inline]
+    pub(crate) fn is_idle(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// Free flit slots in an input buffer.
+    #[inline]
+    pub(crate) fn space(&self, vnet: MsgPriority, in_port: usize, capacity: usize) -> usize {
+        capacity.saturating_sub(self.inputs[vnet.index()][in_port].len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecube_orders_dimensions() {
+        let here = Coord::new(3, 3, 3);
+        assert_eq!(ecube_route(here, Coord::new(5, 0, 0)), 0); // X first
+        assert_eq!(ecube_route(here, Coord::new(0, 0, 0)), 1);
+        assert_eq!(ecube_route(here, Coord::new(3, 5, 0)), 2); // then Y
+        assert_eq!(ecube_route(here, Coord::new(3, 1, 9)), 3);
+        assert_eq!(ecube_route(here, Coord::new(3, 3, 9)), 4); // then Z
+        assert_eq!(ecube_route(here, Coord::new(3, 3, 1)), 5);
+        assert_eq!(ecube_route(here, here), OUT_EJECT);
+    }
+
+    #[test]
+    fn port_index_round_trip() {
+        for p in OutPort::ALL {
+            assert_eq!(OutPort::from_index(p.index()), p);
+        }
+    }
+}

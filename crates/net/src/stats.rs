@@ -1,0 +1,96 @@
+//! Network statistics.
+
+use jm_isa::consts::CLOCK_HZ;
+
+/// Counters accumulated by the network across a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetStats {
+    /// Total flit-hops moved over directional channels.
+    pub flit_hops: u64,
+    /// Flits that crossed the machine's bisection mid-plane (either
+    /// direction).
+    pub bisection_flits: u64,
+    /// Payload words delivered to ejection FIFOs.
+    pub delivered_words: u64,
+    /// Messages fully delivered (tail flit ejected).
+    pub delivered_msgs: u64,
+    /// Sum over delivered messages of (tail-ejection cycle − inject cycle).
+    pub latency_sum: u64,
+    /// Maximum single-message latency observed.
+    pub latency_max: u64,
+    /// Messages injected (route words accepted).
+    pub injected_msgs: u64,
+}
+
+impl NetStats {
+    /// Mean end-to-end (inject to tail-ejection) message latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered_msgs == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered_msgs as f64
+        }
+    }
+
+    /// Observed bisection traffic in bits per second over `cycles` of
+    /// simulated time, counting 18 bits per flit (paper convention; see
+    /// `NetConfig::bisection_capacity_bits`).
+    pub fn bisection_bits_per_sec(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.bisection_flits as f64 * 18.0 * CLOCK_HZ as f64 / cycles as f64
+    }
+
+    /// Difference of two snapshots (`self` later minus `earlier`), for
+    /// windowed measurement.
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            flit_hops: self.flit_hops - earlier.flit_hops,
+            bisection_flits: self.bisection_flits - earlier.bisection_flits,
+            delivered_words: self.delivered_words - earlier.delivered_words,
+            delivered_msgs: self.delivered_msgs - earlier.delivered_msgs,
+            latency_sum: self.latency_sum - earlier.latency_sum,
+            latency_max: self.latency_max,
+            injected_msgs: self.injected_msgs - earlier.injected_msgs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_handles_empty() {
+        assert_eq!(NetStats::default().mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn windowed_difference() {
+        let early = NetStats {
+            delivered_msgs: 5,
+            latency_sum: 100,
+            ..NetStats::default()
+        };
+        let late = NetStats {
+            delivered_msgs: 9,
+            latency_sum: 220,
+            ..NetStats::default()
+        };
+        let diff = late.since(&early);
+        assert_eq!(diff.delivered_msgs, 4);
+        assert_eq!(diff.mean_latency(), 30.0);
+    }
+
+    #[test]
+    fn bisection_rate_scales_with_clock() {
+        let stats = NetStats {
+            bisection_flits: 1000,
+            ..NetStats::default()
+        };
+        // 1000 flits × 18 bits over 1000 cycles = 18 bits/cycle = 225 Mb/s.
+        let rate = stats.bisection_bits_per_sec(1000);
+        assert!((rate - 18.0 * CLOCK_HZ as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Presence-tag synchronization: `cfut` fault handling, thread suspension,
+//! and producer-side restart (paper §3.2, Table 2).
+//!
+//! When a consumer reads a `cfut` slot before the value is produced, the
+//! hardware vectors to [`CFUT_HANDLER`], which:
+//!
+//! 1. allocates a context block from a per-node pool,
+//! 2. copies the faulted thread's registers out of the hardware staging
+//!    buffer (the Table 2 "save" cost, 30–50 cycles),
+//! 3. replaces the `cfut` slot with a `ctx`-tagged pointer to the waiter,
+//! 4. suspends.
+//!
+//! A producer writes through [`SYNC_WRITE`], which either stores the value
+//! (no waiter) or stores it *and* posts a [`RESUME_P0`] message carrying the
+//! context id. The resume handler frees the context, reloads the staging
+//! buffer, and `RESUME`s — re-executing the faulting read, which now
+//! succeeds (the Table 2 "restart" cost, 20–50 cycles).
+//!
+//! Restriction: synchronizing threads must run at priority 0 and the
+//! synchronized slot must be a memory location (register `cfut`s have no
+//! address for the waiter pointer).
+
+use jm_asm::{hdr, Builder, Region};
+use jm_isa::instr::StatClass;
+use jm_isa::operand::MemRef;
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::tag::Tag;
+use jm_isa::word::{SegDesc, Word};
+use jm_mdp::{STAGING_VBASE, STAGING_FRAME};
+
+/// cfut fault handler label (install as the [`jm_isa::FaultKind::CFutRead`]
+/// vector).
+pub const CFUT_HANDLER: &str = "cfut_handler";
+/// Resume-message handler label.
+pub const RESUME_P0: &str = "resume_p0";
+/// Producer-side synchronizing-store routine label.
+pub const SYNC_WRITE: &str = "sync_write";
+/// Context pool block name.
+pub const CTX_POOL: &str = "ctx_pool";
+/// Free-list head block name.
+pub const CTX_FREE: &str = "ctx_free";
+
+/// Words per context block (free-link + saved registers, padded).
+pub const CTX_WORDS: u32 = 8;
+
+/// Staging-frame slots saved and restored across a suspension: `R0`–`R3`,
+/// `A2`, and the IP. By runtime convention `A0`, `A1`, and `A3` are **not**
+/// preserved across a presence-tag suspension — the same kind of
+/// compiler-known live-set policy that gives the paper its 30–50 cycle
+/// save-cost *range*.
+pub const SAVED_SLOTS: [u32; 6] = [0, 1, 2, 3, 6, 8];
+
+fn staging_p0_desc() -> Word {
+    SegDesc::new(STAGING_VBASE + STAGING_FRAME, 9).to_word()
+}
+
+/// Installs the futures library with a pool of `nctx` context blocks.
+///
+/// # Panics
+///
+/// Panics if `nctx` is zero.
+pub fn install(b: &mut Builder, nctx: u32) {
+    assert!(nctx > 0, "need at least one context block");
+    // Pre-linked free list: block i's word 0 holds i+1; the last holds -1.
+    let mut pool = vec![Word::int(0); (nctx * CTX_WORDS) as usize];
+    for i in 0..nctx {
+        let next = if i + 1 == nctx { -1 } else { i as i32 + 1 };
+        pool[(i * CTX_WORDS) as usize] = Word::int(next);
+    }
+    // Contexts live on-chip: suspension cost is the point of Table 2.
+    b.data(CTX_POOL, Region::Imem, pool);
+    b.data(CTX_FREE, Region::Imem, vec![Word::int(0)]);
+
+    // --- cfut fault handler (runs in the faulted P0 bank) ---
+    b.label(CFUT_HANDLER);
+    b.mark(StatClass::Sync);
+    b.load_seg(A0, CTX_FREE);
+    b.mov(R0, MemRef::disp(A0, 0)); // idx
+    b.load_seg(A1, CTX_POOL);
+    b.alu(jm_isa::AluOp::Mul, R1, R0, CTX_WORDS as i32);
+    b.mov(R2, MemRef::reg(A1, R1)); // next free
+    b.mov(MemRef::disp(A0, 0), R2);
+    // Waiter pointer into the faulted slot (FADDR is its absolute address).
+    b.mov(R2, jm_isa::operand::Special::FAddr);
+    b.alu(jm_isa::AluOp::Lsh, R2, R2, 12);
+    b.wtag(R2, R2, Tag::Addr.bits() as i32); // unbounded descriptor
+    b.mov(A0, R2);
+    b.wtag(R0, R0, Tag::Ctx.bits() as i32);
+    b.mov(MemRef::disp(A0, 0), R0);
+    // Save the live staging slots. The hardware masks presence-tag faults
+    // inside fault handlers, so plain MOVEs copy any word.
+    b.mov(A0, staging_p0_desc());
+    for k in SAVED_SLOTS {
+        b.addi(R1, R1, 1);
+        b.mov(R2, MemRef::disp(A0, k));
+        b.mov(MemRef::reg(A1, R1), R2);
+    }
+    b.suspend();
+
+    // --- resume handler: [hdr, ctx_idx] ---
+    b.label(RESUME_P0);
+    b.mark(StatClass::Sync);
+    b.mov(R0, MemRef::disp(A3, 1)); // idx
+    b.load_seg(A1, CTX_POOL);
+    b.alu(jm_isa::AluOp::Mul, R1, R0, CTX_WORDS as i32);
+    // Free the block.
+    b.load_seg(A0, CTX_FREE);
+    b.mov(R2, MemRef::disp(A0, 0));
+    b.mov(MemRef::reg(A1, R1), R2);
+    b.mov(MemRef::disp(A0, 0), R0);
+    // Restore the saved slots (tag-preserving: a parked register may hold
+    // any tag, and the resume handler is not in fault context).
+    b.mov(A0, staging_p0_desc());
+    for k in SAVED_SLOTS {
+        b.addi(R1, R1, 1);
+        b.rtag(R2, MemRef::reg(A1, R1));
+        b.wtag(R0, MemRef::reg(A1, R1), R2);
+        b.wtag(MemRef::disp(A0, k), R0, R2);
+    }
+    b.resume();
+
+    // --- producer store: A1 = 1-word descriptor of the slot, R0 = value;
+    //     clobbers R1, R2. ---
+    b.label(SYNC_WRITE);
+    b.check(R1, MemRef::disp(A1, 0), Tag::Ctx);
+    b.bt(R1, "sw_waiter");
+    b.mov(MemRef::disp(A1, 0), R0);
+    b.ret();
+    b.label("sw_waiter");
+    b.wtag(R2, MemRef::disp(A1, 0), Tag::Int.bits() as i32);
+    b.mov(MemRef::disp(A1, 0), R0);
+    b.send(jm_isa::MsgPriority::P0, jm_isa::operand::Special::Nnr);
+    b.send2e(jm_isa::MsgPriority::P0, hdr(RESUME_P0, 2), R2);
+    b.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jm_isa::consts::FaultKind;
+    use jm_isa::instr::MsgPriority;
+    use jm_isa::node::NodeId;
+    use jm_machine::{JMachine, MachineConfig, StartPolicy};
+
+    /// A consumer thread reads a cfut slot (suspending), then a producer
+    /// message fills it; the consumer must resume, finish the computation,
+    /// and store the doubled value.
+    #[test]
+    fn consumer_suspends_and_resumes_on_produce() {
+        let mut b = Builder::new();
+        b.data("slot", Region::Imem, vec![Word::cfut()]);
+        b.reserve("out", Region::Imem, 1);
+
+        // Consumer runs as a P0 handler so the P0 staging path applies.
+        b.label("consumer");
+        b.load_seg(A2, "slot");
+        b.mov(R1, MemRef::disp(A2, 0)); // faults & suspends, later resumes
+        b.alu(jm_isa::AluOp::Add, R1, R1, R1);
+        b.load_seg(A2, "out");
+        b.mov(MemRef::disp(A2, 0), R1);
+        b.suspend();
+
+        // Producer: fills the slot with 21 via sync_write.
+        b.label("producer");
+        b.load_seg(A1, "slot");
+        b.movi(R0, 21);
+        b.call(SYNC_WRITE);
+        b.suspend();
+
+        install(&mut b, 4);
+        let p = b.assemble().unwrap();
+        let out = p.segment("out");
+        let mut m = JMachine::new(p, MachineConfig::new(1).start(StartPolicy::None));
+        m.install_vector_all(FaultKind::CFutRead, CFUT_HANDLER);
+        m.deliver_message(NodeId(0), MsgPriority::P0, "consumer", &[]);
+        m.run(200); // let the consumer fault and park
+        m.deliver_message(NodeId(0), MsgPriority::P0, "producer", &[]);
+        m.run_until_quiescent(100_000).unwrap();
+        assert_eq!(m.read_word(NodeId(0), out.base).as_i32(), 42);
+        let stats = m.stats();
+        assert_eq!(stats.nodes.fault_count(FaultKind::CFutRead), 1);
+        assert!(stats.nodes.class_cycles(jm_isa::StatClass::Sync) > 30);
+    }
+
+    /// If the producer arrives first there is no fault at all; the consumer
+    /// reads the value directly (Table 2's "Success" row).
+    #[test]
+    fn no_fault_when_value_already_present() {
+        let mut b = Builder::new();
+        b.data("slot", Region::Imem, vec![Word::cfut()]);
+        b.reserve("out", Region::Imem, 1);
+        b.label("producer");
+        b.load_seg(A1, "slot");
+        b.movi(R0, 5);
+        b.call(SYNC_WRITE);
+        b.suspend();
+        b.label("consumer");
+        b.load_seg(A2, "slot");
+        b.mov(R1, MemRef::disp(A2, 0));
+        b.load_seg(A2, "out");
+        b.mov(MemRef::disp(A2, 0), R1);
+        b.suspend();
+        install(&mut b, 2);
+        let p = b.assemble().unwrap();
+        let out = p.segment("out");
+        let mut m = JMachine::new(p, MachineConfig::new(1).start(StartPolicy::None));
+        m.install_vector_all(FaultKind::CFutRead, CFUT_HANDLER);
+        m.deliver_message(NodeId(0), MsgPriority::P0, "producer", &[]);
+        m.run(100);
+        m.deliver_message(NodeId(0), MsgPriority::P0, "consumer", &[]);
+        m.run_until_quiescent(100_000).unwrap();
+        assert_eq!(m.read_word(NodeId(0), out.base).as_i32(), 5);
+        assert_eq!(m.stats().nodes.fault_count(FaultKind::CFutRead), 0);
+    }
+
+    /// Contexts are recycled: more suspensions than pool slots succeed as
+    /// long as they do not overlap.
+    #[test]
+    fn context_pool_recycles() {
+        let mut b = Builder::new();
+        b.data("slot", Region::Imem, vec![Word::cfut()]);
+        b.reserve("out", Region::Imem, 1);
+        b.label("consumer");
+        b.load_seg(A2, "slot");
+        b.mov(R1, MemRef::disp(A2, 0));
+        b.load_seg(A2, "out");
+        b.mov(R2, MemRef::disp(A2, 0));
+        b.check(R0, R2, Tag::Nil);
+        b.bf(R0, "acc");
+        b.movi(R2, 0);
+        b.label("acc");
+        b.alu(jm_isa::AluOp::Add, R2, R2, R1);
+        b.mov(MemRef::disp(A2, 0), R2);
+        // Reset the slot for the next round.
+        b.load_seg(A2, "slot");
+        b.mov(MemRef::disp(A2, 0), Word::cfut());
+        b.suspend();
+        b.label("producer");
+        b.mov(R0, MemRef::disp(A3, 1));
+        b.load_seg(A1, "slot");
+        b.call(SYNC_WRITE);
+        b.suspend();
+        install(&mut b, 1); // a single context block
+        let p = b.assemble().unwrap();
+        let out = p.segment("out");
+        let mut m = JMachine::new(p, MachineConfig::new(1).start(StartPolicy::None));
+        m.install_vector_all(FaultKind::CFutRead, CFUT_HANDLER);
+        for round in 0..3 {
+            m.deliver_message(NodeId(0), MsgPriority::P0, "consumer", &[]);
+            m.run(300);
+            m.deliver_message(
+                NodeId(0),
+                MsgPriority::P0,
+                "producer",
+                &[Word::int(round + 1)],
+            );
+            m.run_until_quiescent(100_000).unwrap();
+        }
+        assert_eq!(m.read_word(NodeId(0), out.base).as_i32(), 6); // 1+2+3
+        assert_eq!(m.stats().nodes.fault_count(FaultKind::CFutRead), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Node-id → router-address conversion ("NNR calculation").
+//!
+//! The MDP has no automatic translation from linear node indices to router
+//! addresses; applications convert in software, and the paper's Figure 6
+//! shows the cost as a distinct slice of application time. §5 proposes a
+//! TLB for exactly this.
+
+use jm_asm::Builder;
+use jm_isa::instr::{AluOp, StatClass};
+use jm_isa::operand::Special;
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::tag::Tag;
+
+/// Label of the conversion routine.
+pub const NID_TO_ROUTE: &str = "nid_to_route";
+
+/// Installs [`NID_TO_ROUTE`].
+///
+/// * Input: `R0` = linear node id (`int`).
+/// * Output: `R0` = `route`-tagged router address.
+/// * Clobbers `R1`, `R2`, `A1`. Link in `R3`.
+/// * Attribution: marks [`StatClass::NnrCalc`]; the **caller** re-marks its
+///   own class after the call.
+pub fn install(b: &mut Builder) {
+    b.label(NID_TO_ROUTE);
+    b.mark(StatClass::NnrCalc);
+    // Unpack mesh extents from the DIMS special register.
+    b.mov(R1, Special::Dims);
+    b.wtag(R1, R1, Tag::Int.bits() as i32);
+    b.alu(AluOp::And, R2, R1, 31); // dx
+    b.mov(A1, R1); // stash packed dims
+    b.alu(AluOp::Rem, R1, R0, R2); // x
+    b.alu(AluOp::Div, R0, R0, R2); // rest
+    b.alu(AluOp::Lsh, R2, A1, -5);
+    b.alu(AluOp::And, R2, R2, 31); // dy
+    b.mov(A1, R1); // stash x
+    b.alu(AluOp::Rem, R1, R0, R2); // y
+    b.alu(AluOp::Div, R0, R0, R2); // z
+    b.alu(AluOp::Lsh, R1, R1, 5);
+    b.alu(AluOp::Lsh, R0, R0, 10);
+    b.alu(AluOp::Or, R0, R0, R1);
+    b.alu(AluOp::Or, R0, R0, A1);
+    b.wtag(R0, R0, Tag::Route.bits() as i32);
+    b.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jm_asm::Region;
+    use jm_isa::node::{MeshDims, NodeId, RouteWord};
+    use jm_isa::operand::MemRef;
+    use jm_machine::{JMachine, MachineConfig, StartPolicy};
+
+    #[test]
+    fn converts_every_id_in_a_4x2x2_mesh() {
+        // Each node converts its own NID and stores the result; the host
+        // compares against the reference conversion.
+        let mut b = Builder::new();
+        b.reserve("out", Region::Imem, 1);
+        b.label("main");
+        b.mov(R0, Special::Nid);
+        b.call(NID_TO_ROUTE);
+        b.mark(StatClass::Compute);
+        b.load_seg(A0, "out");
+        b.mov(MemRef::disp(A0, 0), R0);
+        b.halt();
+        b.entry("main");
+        install(&mut b);
+        let p = b.assemble().unwrap();
+        let out = p.segment("out");
+        let cfg = MachineConfig::with_dims(MeshDims::new(4, 2, 2)).start(StartPolicy::AllNodes);
+        let mut m = JMachine::new(p, cfg);
+        m.run_until_quiescent(100_000).unwrap();
+        for id in 0..16 {
+            let got = m.read_word(NodeId(id), out.base);
+            let want = RouteWord::new(MeshDims::new(4, 2, 2).coord(NodeId(id))).to_word();
+            assert_eq!(got, want, "node {id}");
+        }
+        // The conversion time must land in the NnrCalc class.
+        assert!(m.stats().nodes.class_cycles(StatClass::NnrCalc) > 0);
+    }
+}

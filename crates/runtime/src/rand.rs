@@ -1,0 +1,59 @@
+//! A linear congruential generator for synthetic traffic (Figure 3's
+//! random-destination loop).
+
+use jm_asm::Builder;
+use jm_isa::instr::AluOp;
+use jm_isa::reg::DReg::*;
+
+/// Label of the LCG step routine.
+pub const LCG_NEXT: &str = "lcg_next";
+
+/// Installs [`LCG_NEXT`]: `R0 = (R0 * 1664525 + 1013904223) & 0x7fffffff`.
+///
+/// Input/output in `R0`; no other registers touched. Link in `R3`.
+pub fn install(b: &mut Builder) {
+    b.label(LCG_NEXT);
+    b.alu(AluOp::Mul, R0, R0, 1664525);
+    b.alu(AluOp::Add, R0, R0, 1013904223);
+    b.alu(AluOp::And, R0, R0, 0x7fffffff);
+    b.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jm_asm::Region;
+    use jm_isa::node::NodeId;
+    use jm_isa::operand::MemRef;
+    use jm_isa::reg::AReg::*;
+    use jm_machine::{JMachine, MachineConfig};
+
+    #[test]
+    fn matches_host_reference() {
+        let mut b = Builder::new();
+        b.reserve("out", Region::Imem, 4);
+        b.label("main");
+        b.load_seg(A0, "out");
+        b.movi(R0, 12345);
+        for i in 0..4u32 {
+            b.call(LCG_NEXT);
+            b.mov(MemRef::disp(A0, i), R0);
+        }
+        b.halt();
+        b.entry("main");
+        install(&mut b);
+        let p = b.assemble().unwrap();
+        let out = p.segment("out");
+        let mut m = JMachine::new(p, MachineConfig::new(1));
+        m.run_until_quiescent(10_000).unwrap();
+        let mut seed: i64 = 12345;
+        for i in 0..4 {
+            seed = (seed * 1664525 + 1013904223) & 0x7fffffff;
+            assert_eq!(
+                m.read_word(NodeId(0), out.base + i).as_i32() as i64,
+                seed,
+                "step {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Remote-procedure-call handlers for the latency and overhead
+//! micro-benchmarks (Figure 2, Table 1, Figure 4).
+//!
+//! All request messages carry the reply route word so the remote node never
+//! pays NNR-calculation costs inside the measured window, matching the
+//! paper's methodology (the measured quantity is mechanism cost, not
+//! address arithmetic).
+//!
+//! Handlers and message formats:
+//!
+//! | label | request | reply |
+//! |-------|---------|-------|
+//! | `rpc_ping` | `[hdr, reply_route]` (2 words) | `[rpc_ack0]` (1 word) |
+//! | `rpc_read1` | `[hdr, seg, reply_route]` (3 words) | `[rpc_ack1, w]` (2 words) |
+//! | `rpc_read6` | `[hdr, seg, reply_route]` (3 words) | `[rpc_ack6, w0..w5]` (7 words) |
+//!
+//! The ack handlers store the payload into `rpc_data` and finally write 1
+//! into `rpc_flag[0]`, which the requester polls.
+
+use jm_asm::{hdr, Builder, Region};
+use jm_isa::instr::{MsgPriority, StatClass};
+use jm_isa::operand::MemRef;
+use jm_isa::reg::{AReg::*, DReg::*};
+
+/// Completion flag block (1 word, internal memory).
+pub const FLAG: &str = "rpc_flag";
+/// Reply payload block (8 words, internal memory).
+pub const DATA: &str = "rpc_data";
+/// Source blocks remote reads target: internal and external.
+pub const SRC_IMEM: &str = "rpc_src_imem";
+/// External-memory source block.
+pub const SRC_EMEM: &str = "rpc_src_emem";
+
+/// Installs the RPC handlers and their state blocks.
+pub fn install(b: &mut Builder) {
+    use MsgPriority::P0;
+    b.reserve(FLAG, Region::Imem, 1);
+    b.reserve(DATA, Region::Imem, 8);
+    b.data(
+        SRC_IMEM,
+        Region::Imem,
+        (0..8).map(|i| jm_isa::Word::int(100 + i)).collect(),
+    );
+    b.data(
+        SRC_EMEM,
+        Region::Emem,
+        (0..8).map(|i| jm_isa::Word::int(200 + i)).collect(),
+    );
+
+    // Ping: bounce a 1-word ack back.
+    b.label("rpc_ping");
+    b.mark(StatClass::Comm);
+    b.send(P0, MemRef::disp(A3, 1));
+    b.sende(P0, hdr("rpc_ack0", 1));
+    b.suspend();
+
+    // Remote read of 1 word through the segment descriptor in the message.
+    b.label("rpc_read1");
+    b.mark(StatClass::Comm);
+    b.mov(A0, MemRef::disp(A3, 1));
+    b.mov(R0, MemRef::disp(A0, 0));
+    b.send(P0, MemRef::disp(A3, 2));
+    b.send2e(P0, hdr("rpc_ack1", 2), R0);
+    b.suspend();
+
+    // Remote read of 6 words.
+    b.label("rpc_read6");
+    b.mark(StatClass::Comm);
+    b.mov(A0, MemRef::disp(A3, 1));
+    b.send(P0, MemRef::disp(A3, 2));
+    b.send(P0, hdr("rpc_ack6", 7));
+    b.mov(R0, MemRef::disp(A0, 0));
+    b.mov(R1, MemRef::disp(A0, 1));
+    b.send2(P0, R0, R1);
+    b.mov(R0, MemRef::disp(A0, 2));
+    b.mov(R1, MemRef::disp(A0, 3));
+    b.send2(P0, R0, R1);
+    b.mov(R0, MemRef::disp(A0, 4));
+    b.mov(R1, MemRef::disp(A0, 5));
+    b.send2e(P0, R0, R1);
+    b.suspend();
+
+    // Acks: store payload, then raise the completion flag.
+    b.label("rpc_ack0");
+    b.mark(StatClass::Comm);
+    b.load_seg(A0, FLAG);
+    b.mov(MemRef::disp(A0, 0), 1);
+    b.suspend();
+
+    b.label("rpc_ack1");
+    b.mark(StatClass::Comm);
+    b.mov(R0, MemRef::disp(A3, 1));
+    b.load_seg(A0, DATA);
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.load_seg(A0, FLAG);
+    b.mov(MemRef::disp(A0, 0), 1);
+    b.suspend();
+
+    b.label("rpc_ack6");
+    b.mark(StatClass::Comm);
+    b.load_seg(A0, DATA);
+    for i in 0..6u32 {
+        b.mov(R0, MemRef::disp(A3, 1 + i));
+        b.mov(MemRef::disp(A0, i), R0);
+    }
+    b.load_seg(A0, FLAG);
+    b.mov(MemRef::disp(A0, 0), 1);
+    b.suspend();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnr;
+    use jm_isa::instr::AluOp;
+    use jm_isa::node::NodeId;
+    use jm_isa::operand::Special;
+    use jm_machine::{JMachine, MachineConfig};
+
+    /// Node 0 pings node 7 and then remote-reads 6 words from its external
+    /// memory, recording completion.
+    #[test]
+    fn ping_and_read_round_trips() {
+        let mut b = Builder::new();
+        b.reserve("done", Region::Imem, 1);
+        b.label("main");
+        // Route word for node 7 of a 2x2x2 machine = (1,1,1).
+        b.movi(R2, 7);
+        b.mov(R0, R2);
+        b.call(nnr::NID_TO_ROUTE);
+        b.mark(StatClass::Compute);
+        b.mov(R2, R0); // target route
+        // --- ping ---
+        b.load_seg(A1, FLAG);
+        b.mov(MemRef::disp(A1, 0), 0);
+        b.send(MsgPriority::P0, R2);
+        b.send2e(MsgPriority::P0, hdr("rpc_ping", 2), Special::Nnr);
+        b.label("wait1");
+        b.mov(R1, MemRef::disp(A1, 0));
+        b.bz(R1, "wait1");
+        // --- read 6 from remote Emem ---
+        b.mov(MemRef::disp(A1, 0), 0);
+        b.send(MsgPriority::P0, R2);
+        b.send2(MsgPriority::P0, hdr("rpc_read6", 3), jm_asm::seg(SRC_EMEM));
+        b.sende(MsgPriority::P0, Special::Nnr);
+        b.label("wait2");
+        b.mov(R1, MemRef::disp(A1, 0));
+        b.bz(R1, "wait2");
+        // Sum the six words into "done".
+        b.load_seg(A0, DATA);
+        b.movi(R0, 0);
+        for i in 0..6u32 {
+            b.alu(AluOp::Add, R0, R0, MemRef::disp(A0, i));
+        }
+        b.load_seg(A0, "done");
+        b.mov(MemRef::disp(A0, 0), R0);
+        b.halt();
+        b.entry("main");
+        install(&mut b);
+        nnr::install(&mut b);
+        let p = b.assemble().unwrap();
+        let done = p.segment("done");
+        let mut m = JMachine::new(p, MachineConfig::new(8));
+        m.run_until_quiescent(100_000).unwrap();
+        // 200+201+...+205 = 1215.
+        assert_eq!(m.read_word(NodeId(0), done.base).as_i32(), 1215);
+        let stats = m.stats();
+        assert_eq!(stats.net.delivered_msgs, 4);
+        assert!(stats.nodes.class_cycles(StatClass::Comm) > 0);
+    }
+}

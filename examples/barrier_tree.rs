@@ -1,0 +1,80 @@
+//! Global synchronization two ways: the dissemination barrier of the
+//! paper's Table 3 and the binary combining tree, racing across machine
+//! sizes.
+//!
+//! Run with: `cargo run --release -p jm-examples --bin barrier_tree`
+
+use jm_asm::{hdr, Builder, Region};
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::{NodeId, Word};
+use jm_machine::{JMachine, MachineConfig, StartPolicy};
+use jm_runtime::{barrier, nnr, tree};
+
+/// Barrier benchmark program: each node enters once; node 0 records the
+/// completion cycle.
+fn barrier_program() -> jm_asm::Program {
+    let mut b = Builder::new();
+    b.data("out", Region::Imem, vec![Word::int(0)]);
+    b.label("main");
+    b.mov(R0, hdr("done", 1));
+    b.call(barrier::BAR_ENTER);
+    b.suspend();
+    b.label("done");
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), Special::Cycle);
+    b.suspend();
+    b.entry("main");
+    barrier::install(&mut b);
+    nnr::install(&mut b);
+    b.assemble().unwrap()
+}
+
+/// Tree benchmark: every node contributes 1; root receives node count.
+fn tree_program() -> jm_asm::Program {
+    let mut b = Builder::new();
+    b.data("out", Region::Imem, vec![Word::int(0), Word::int(0)]);
+    b.label("main");
+    b.call(tree::TREE_INIT);
+    b.movi(R0, 1);
+    b.call(tree::TREE_ADD);
+    b.suspend();
+    b.label("sum_done");
+    b.mov(R0, MemRef::disp(A3, 1));
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), Special::Cycle);
+    b.mov(MemRef::disp(A0, 1), R0);
+    b.suspend();
+    b.entry("main");
+    tree::install(&mut b, "sum_done");
+    nnr::install(&mut b);
+    b.assemble().unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "nodes", "barrier (cyc)", "tree sum (cyc)"
+    );
+    for k in 1..=9u32 {
+        let nodes = 1 << k;
+        let p = barrier_program();
+        let out = p.segment("out");
+        let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+        m.run_until_quiescent(10_000_000)?;
+        let bar_cycles = m.read_word(NodeId(0), out.base).as_i32();
+
+        let p = tree_program();
+        let out = p.segment("out");
+        let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+        m.run_until_quiescent(10_000_000)?;
+        let tree_cycles = m.read_word(NodeId(0), out.base).as_i32();
+        let total = m.read_word(NodeId(0), out.base + 1).as_i32();
+        assert_eq!(total, nodes as i32);
+
+        println!("{nodes:>6} {bar_cycles:>16} {tree_cycles:>16}");
+    }
+    println!("\nboth scale logarithmically; the dissemination barrier needs no");
+    println!("root-to-leaf broadcast, the tree also produces a global reduction");
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Shared helpers for the jmsim examples.
+
+/// Pretty-prints a machine statistics summary for example output.
+pub fn print_summary(stats: &jm_machine::MachineStats) {
+    println!(
+        "  {} cycles ({:.2} ms at 12.5 MHz), {} instructions, {} messages",
+        stats.cycles,
+        stats.millis(),
+        stats.nodes.instructions,
+        stats.net.delivered_msgs
+    );
+    for class in jm_isa::StatClass::ALL {
+        let f = stats.class_fraction(class);
+        if f > 0.001 {
+            println!("    {:<9} {:>5.1}%", class.to_string(), 100.0 * f);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Latency exploration: ping every node from corner node 0 and print the
+//! measured round-trip latency against the 2-cycles/hop model — a
+//! miniature of the paper's Figure 2.
+//!
+//! Run with: `cargo run -p jm-examples --bin ping_pong`
+
+use jm_asm::{hdr, Builder, Region};
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::{MeshDims, MsgPriority, NodeId, RouteWord, Word};
+use jm_machine::{JMachine, MachineConfig, StartPolicy};
+use jm_runtime::rpc;
+
+fn program() -> Result<jm_asm::Program, jm_asm::AsmError> {
+    let mut b = Builder::new();
+    b.data("pp", Region::Imem, vec![Word::int(0); 2]);
+    b.label("main");
+    b.load_seg(A0, "pp");
+    b.load_seg(A1, rpc::FLAG);
+    b.mov(MemRef::disp(A1, 0), 0);
+    b.mov(R2, Special::Cycle);
+    b.send(MsgPriority::P0, MemRef::disp(A0, 0));
+    b.send2e(MsgPriority::P0, hdr("rpc_ping", 2), Special::Nnr);
+    b.label("wait");
+    b.mov(R1, MemRef::disp(A1, 0));
+    b.bz(R1, "wait");
+    b.mov(R3, Special::Cycle);
+    b.alu(jm_isa::AluOp::Sub, R3, R3, R2);
+    b.mov(MemRef::disp(A0, 1), R3);
+    b.halt();
+    b.entry("main");
+    rpc::install(&mut b);
+    b.assemble()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = MeshDims::new(4, 4, 4);
+    println!("round-trip ping latency from node 0 on a {dims} machine:");
+    println!("{:>6} {:>6} {:>8}", "node", "hops", "cycles");
+    for target in 0..dims.nodes() {
+        let p = program()?;
+        let pp = p.segment("pp");
+        let mut m = JMachine::new(p, MachineConfig::with_dims(dims).start(StartPolicy::Node0));
+        let coord = dims.coord(NodeId(target));
+        m.write_word(NodeId(0), pp.base, RouteWord::new(coord).to_word());
+        m.run_until_quiescent(100_000)?;
+        let cycles = m.read_word(NodeId(0), pp.base + 1).as_i32();
+        let hops = dims.coord(NodeId(0)).hops_to(coord);
+        if target % 7 == 0 || hops >= 8 {
+            println!("{target:>6} {hops:>6} {cycles:>8}");
+        }
+    }
+    println!("\nslope should be ~2 cycles/hop (1 cycle/hop each way) — paper Figure 2");
+    Ok(())
+}

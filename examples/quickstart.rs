@@ -1,0 +1,53 @@
+//! Quickstart: assemble a tiny SPMD program, boot a 64-node J-Machine, and
+//! exchange a remote procedure call.
+//!
+//! Run with: `cargo run -p jm-examples --bin quickstart`
+
+use jm_asm::{hdr, Builder, Region};
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::{MsgPriority, NodeId};
+use jm_machine::{JMachine, MachineConfig, StartPolicy};
+use jm_runtime::nnr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Every node runs `main`: it computes a route to its successor (the
+    // software "NNR calculation" of the paper) and sends it a greeting; the
+    // `greet` handler stores the received value.
+    let mut b = Builder::new();
+    b.reserve("inbox", Region::Imem, 1);
+
+    b.label("main");
+    b.mov(R0, Special::Nid);
+    b.addi(R0, R0, 1);
+    b.alu(jm_isa::AluOp::Rem, R0, R0, Special::NNodes);
+    b.call(nnr::NID_TO_ROUTE);
+    b.mark(jm_isa::StatClass::Comm);
+    b.send(MsgPriority::P0, R0); // route word first
+    b.send2e(MsgPriority::P0, hdr("greet", 2), Special::Nid); // then payload
+    b.suspend();
+
+    b.label("greet");
+    b.mov(R0, MemRef::disp(A3, 1)); // read the argument from the message
+    b.load_seg(A0, "inbox");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.suspend();
+
+    b.entry("main");
+    nnr::install(&mut b);
+    let program = b.assemble()?;
+
+    let mut machine = JMachine::new(program, MachineConfig::new(64).start(StartPolicy::AllNodes));
+    let cycles = machine.run_until_quiescent(1_000_000)?;
+    println!("64-node machine quiesced in {cycles} cycles");
+
+    let inbox = machine.program().segment("inbox");
+    for node in [0u32, 1, 33, 63] {
+        let got = machine.read_word(NodeId(node), inbox.base).as_i32();
+        let expected = (node as i32 + 63) % 64;
+        assert_eq!(got, expected);
+        println!("node {node:>2} received greeting from node {got}");
+    }
+    jm_examples::print_summary(&machine.stats());
+    Ok(())
+}

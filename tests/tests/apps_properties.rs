@@ -1,0 +1,74 @@
+//! Property-based integration tests: the applications produce correct
+//! answers for arbitrary inputs and machine sizes.
+
+use jm_apps::{lcs, nqueens, radix, tsp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn radix_sorts_arbitrary_inputs(seed in any::<u64>(), nodes_pow in 0u32..4, keys_pow in 5u32..8) {
+        let nodes = 1u32 << nodes_pow;
+        let keys = 1u32 << keys_pow;
+        let cfg = radix::RadixConfig { keys, seed };
+        radix::run(nodes, &cfg, 500_000_000).unwrap();
+    }
+
+    #[test]
+    fn lcs_matches_reference_for_arbitrary_strings(seed in any::<u64>(),
+                                                   alphabet in 2u8..6,
+                                                   nodes_pow in 0u32..4) {
+        let nodes = 1u32 << nodes_pow;
+        let cfg = lcs::LcsConfig {
+            a_len: 32.max(nodes),
+            b_len: 48,
+            seed,
+            alphabet,
+        };
+        lcs::run(nodes, &cfg, 500_000_000).unwrap();
+    }
+
+    #[test]
+    fn tsp_finds_the_optimum_for_arbitrary_matrices(seed in any::<u64>(), nodes_pow in 0u32..4) {
+        let nodes = 1u32 << nodes_pow;
+        let cfg = tsp::TspConfig {
+            cities: 6,
+            seed,
+            task_depth: None,
+            yield_every: 16,
+        };
+        tsp::run(nodes, &cfg, 500_000_000).unwrap();
+    }
+}
+
+#[test]
+fn nqueens_counts_are_right_for_all_depths() {
+    // Sweep the expansion-depth knob: the answer must never change.
+    for depth in 1..=4 {
+        let cfg = nqueens::NqConfig {
+            n: 7,
+            expand_depth: Some(depth),
+        };
+        let run = nqueens::run(4, &cfg, 500_000_000).unwrap();
+        assert_eq!(run.solutions, 40);
+        assert_eq!(run.tasks, nqueens::prefix_count(7, depth));
+    }
+}
+
+#[test]
+fn tsp_yield_period_does_not_change_the_answer() {
+    // The CST-style suspension period is a performance knob only.
+    let mut costs = Vec::new();
+    for yield_every in [4u32, 64, 4096] {
+        let cfg = tsp::TspConfig {
+            cities: 7,
+            seed: 99,
+            task_depth: None,
+            yield_every,
+        };
+        let run = tsp::run(4, &cfg, 500_000_000).unwrap();
+        costs.push(run.best);
+    }
+    assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+}
