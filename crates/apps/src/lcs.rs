@@ -15,9 +15,8 @@ use jm_isa::operand::{MemRef, Special};
 use jm_isa::reg::{AReg::*, DReg::*};
 use jm_isa::word::Word;
 use jm_machine::{JMachine, MachineConfig, MachineError, MachineStats, StartPolicy};
+use jm_prng::Prng;
 use jm_runtime::nnr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Problem configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,9 +55,13 @@ impl LcsConfig {
 
     /// Generates the two strings.
     pub fn strings(&self) -> (Vec<u8>, Vec<u8>) {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let a = (0..self.a_len).map(|_| rng.gen_range(0..self.alphabet)).collect();
-        let b = (0..self.b_len).map(|_| rng.gen_range(0..self.alphabet)).collect();
+        let mut rng = Prng::new(self.seed);
+        let a = (0..self.a_len)
+            .map(|_| rng.range_u32(0, u32::from(self.alphabet)) as u8)
+            .collect();
+        let b = (0..self.b_len)
+            .map(|_| rng.range_u32(0, u32::from(self.alphabet)) as u8)
+            .collect();
         (a, b)
     }
 }

@@ -93,7 +93,14 @@ pub fn prefix_count(n: u32, depth: u32) -> u64 {
         while free != 0 {
             let bit = free & free.wrapping_neg();
             free ^= bit;
-            count += go(n, row + 1, depth, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+            count += go(
+                n,
+                row + 1,
+                depth,
+                cols | bit,
+                (d1 | bit) << 1,
+                (d2 | bit) >> 1,
+            );
         }
         count
     }
@@ -221,7 +228,7 @@ pub fn program(cfg: &NqConfig, nodes: u32) -> Program {
     b.load_seg(A0, "nq_p");
     b.load_seg(A1, "nq_cols");
     b.mov(MemRef::disp(A0, 5), 0); // solutions = 0
-    // Copy the prefix into the placement array.
+                                   // Copy the prefix into the placement array.
     b.movi(R0, 0);
     b.label("nqt_copy");
     b.addi(R1, R0, 2);
@@ -371,8 +378,8 @@ mod tests {
             expand_depth: None,
         };
         for nodes in [1u32, 4, 8] {
-            let run = run(nodes, &cfg, 100_000_000)
-                .unwrap_or_else(|e| panic!("{nodes} nodes: {e}"));
+            let run =
+                run(nodes, &cfg, 100_000_000).unwrap_or_else(|e| panic!("{nodes} nodes: {e}"));
             assert_eq!(run.solutions, 4);
             assert!(run.tasks >= 3);
         }

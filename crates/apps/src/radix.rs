@@ -30,9 +30,8 @@ use jm_isa::operand::{MemRef, Special};
 use jm_isa::reg::{AReg::*, DReg::*};
 use jm_isa::word::Word;
 use jm_machine::{JMachine, MachineConfig, MachineError, MachineStats, StartPolicy};
+use jm_prng::Prng;
 use jm_runtime::nnr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Bits per digit.
 pub const BITS: u32 = 4;
@@ -72,10 +71,8 @@ impl RadixConfig {
 
     /// Generates the keys (28-bit non-negative integers).
     pub fn generate(&self) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.keys)
-            .map(|_| rng.gen_range(0..1u32 << 28))
-            .collect()
+        let mut rng = Prng::new(self.seed);
+        (0..self.keys).map(|_| rng.range_u32(0, 1 << 28)).collect()
     }
 }
 
@@ -224,7 +221,7 @@ pub fn program(cfg: &RadixConfig, nodes: u32) -> Program {
     b.mov(R2, MemRef::reg(A1, R1));
     b.bz(R2, "scan_poll");
     b.mov(MemRef::reg(A1, R1), 0); // consume flag
-    // lower partner? bit `wave` of NID set means the partner id is lower.
+                                   // lower partner? bit `wave` of NID set means the partner id is lower.
     b.movi(R2, 1);
     b.alu(AluOp::Lsh, R2, R2, MemRef::disp(A0, 5));
     b.alu(AluOp::And, R2, R2, Special::Nid);
@@ -418,7 +415,11 @@ pub fn setup(m: &mut JMachine, cfg: &RadixConfig) -> Vec<u32> {
 
 /// Reads back the sorted array (pass count decides which buffer).
 pub fn result(m: &JMachine, cfg: &RadixConfig) -> Vec<u32> {
-    let name = if PASSES % 2 == 1 { "rs_arr1" } else { "rs_arr0" };
+    let name = if PASSES % 2 == 1 {
+        "rs_arr1"
+    } else {
+        "rs_arr0"
+    };
     let nodes = m.node_count();
     let k = cfg.keys / nodes;
     let mut out = Vec::with_capacity(cfg.keys as usize);

@@ -31,9 +31,8 @@ use jm_isa::operand::{MemRef, Special};
 use jm_isa::reg::{AReg::*, DReg::*};
 use jm_isa::word::Word;
 use jm_machine::{JMachine, MachineConfig, MachineError, MachineStats, StartPolicy};
+use jm_prng::Prng;
 use jm_runtime::nnr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Words per task context slot: free-link, saved sp, padding, then up to 16
 /// frames of 4 words.
@@ -84,12 +83,12 @@ impl TspConfig {
     /// Generates the (asymmetric) distance matrix, entries 1..100.
     pub fn matrix(&self) -> Vec<u32> {
         let c = self.cities as usize;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::new(self.seed);
         let mut m = vec![0u32; c * c];
         for i in 0..c {
             for j in 0..c {
                 if i != j {
-                    m[i * c + j] = rng.gen_range(1..100);
+                    m[i * c + j] = rng.range_u32(1, 100);
                 }
             }
         }
@@ -122,14 +121,7 @@ impl TspConfig {
 /// Host reference: branch-and-bound minimum tour cost.
 pub fn reference(matrix: &[u32], cities: u32) -> u32 {
     let c = cities as usize;
-    fn go(
-        m: &[u32],
-        c: usize,
-        mask: u32,
-        last: usize,
-        cost: u32,
-        best: &mut u32,
-    ) {
+    fn go(m: &[u32], c: usize, mask: u32, last: usize, cost: u32, best: &mut u32) {
         if cost >= *best {
             return;
         }
@@ -142,7 +134,14 @@ pub fn reference(matrix: &[u32], cities: u32) -> u32 {
         }
         for next in 1..c {
             if mask & (1 << next) == 0 {
-                go(m, c, mask | (1 << next), next, cost + m[last * c + next], best);
+                go(
+                    m,
+                    c,
+                    mask | (1 << next),
+                    next,
+                    cost + m[last * c + next],
+                    best,
+                );
             }
         }
     }
@@ -256,7 +255,7 @@ pub fn program(cfg: &TspConfig, nodes: u32) -> Program {
     b.alu(AluOp::Lsh, R2, R2, R1);
     b.alu(AluOp::And, R2, R2, MemRef::disp(A0, 5));
     b.bnz(R2, "e_try"); // visited
-    // place: cost' = ec[l-1] + dist[ep[l-1]][c]
+                        // place: cost' = ec[l-1] + dist[ep[l-1]][c]
     b.subi(R2, R0, 1);
     b.mov(R3, MemRef::reg(A1, R2)); // previous city
     b.alu(AluOp::Mul, R3, R3, c);
@@ -266,7 +265,7 @@ pub fn program(cfg: &TspConfig, nodes: u32) -> Program {
     b.mov(R2, MemRef::reg(A3, R2)); // ec[l-1]
     b.alu(AluOp::Add, R3, R3, R2);
     b.mov(MemRef::reg(A3, R0), R3); // ec[l]
-    // mask |= 1<<c
+                                    // mask |= 1<<c
     b.movi(R2, 1);
     b.alu(AluOp::Lsh, R2, R2, R1);
     b.alu(AluOp::Or, R2, R2, MemRef::disp(A0, 5));
@@ -441,7 +440,7 @@ pub fn program(cfg: &TspConfig, nodes: u32) -> Program {
     b.alu(AluOp::And, R1, R1, R3);
     b.bnz(R1, "t_budget");
     b.mov(MemRef::disp(A0, 10), R3); // stash bit
-    // CST-style object access: xlate the matrix's global name.
+                                     // CST-style object access: xlate the matrix's global name.
     b.mark(StatClass::Xlate);
     b.xlate(A1, sym_dist);
     b.mark(StatClass::Compute);
@@ -740,8 +739,7 @@ mod tests {
             yield_every: 16,
         };
         for nodes in [1u32, 4, 8] {
-            let r = run(nodes, &cfg, 500_000_000)
-                .unwrap_or_else(|e| panic!("{nodes} nodes: {e}"));
+            let r = run(nodes, &cfg, 500_000_000).unwrap_or_else(|e| panic!("{nodes} nodes: {e}"));
             assert!(r.best > 0);
         }
     }
@@ -757,7 +755,11 @@ mod tests {
         let r = run(4, &cfg, 500_000_000).unwrap();
         // One xlate per expansion: xlates should be plentiful, with an
         // (almost) zero miss ratio — Table 5's shape.
-        assert!(r.stats.nodes.xlates > 200, "{} xlates", r.stats.nodes.xlates);
+        assert!(
+            r.stats.nodes.xlates > 200,
+            "{} xlates",
+            r.stats.nodes.xlates
+        );
         assert!(r.stats.nodes.xlate_misses * 100 < r.stats.nodes.xlates.max(1));
     }
 }

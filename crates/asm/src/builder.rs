@@ -69,14 +69,7 @@ macro_rules! psrc_from {
     };
 }
 
-psrc_from!(
-    Src,
-    DReg,
-    AReg,
-    Word,
-    i32,
-    jm_isa::operand::MemRef,
-);
+psrc_from!(Src, DReg, AReg, Word, i32, jm_isa::operand::MemRef,);
 
 impl From<jm_isa::operand::Special> for PSrc {
     fn from(value: jm_isa::operand::Special) -> PSrc {
@@ -203,12 +196,7 @@ impl Builder {
     }
 
     /// Declares an initialized data block.
-    pub fn data(
-        &mut self,
-        name: impl Into<String>,
-        region: Region,
-        init: Vec<Word>,
-    ) -> &mut Self {
+    pub fn data(&mut self, name: impl Into<String>, region: Region, init: Vec<Word>) -> &mut Self {
         let len = init.len() as u32;
         self.data.push(PData {
             name: name.into(),
@@ -284,7 +272,11 @@ impl Builder {
         b: impl Into<PSrc>,
     ) -> &mut Self {
         let dst = dst.into();
-        self.push_src2(|a, b| Instruction::Alu { op, dst, a, b }, a.into(), b.into());
+        self.push_src2(
+            |a, b| Instruction::Alu { op, dst, a, b },
+            a.into(),
+            b.into(),
+        );
         self
     }
 

@@ -136,7 +136,10 @@ fn parse_directive(b: &mut Builder, rest: &str, line_no: usize) -> Result<(), As
         }
         ".data" => {
             if tokens.len() < 3 {
-                return Err(AsmError::at_line(line_no, ".data needs: region name words…"));
+                return Err(AsmError::at_line(
+                    line_no,
+                    ".data needs: region name words…",
+                ));
             }
             let region = parse_region(tokens[1], line_no)?;
             let words = tokens[3..]
@@ -150,7 +153,10 @@ fn parse_directive(b: &mut Builder, rest: &str, line_no: usize) -> Result<(), As
         }
         ".reserve" => {
             if tokens.len() != 4 {
-                return Err(AsmError::at_line(line_no, ".reserve needs: region name len"));
+                return Err(AsmError::at_line(
+                    line_no,
+                    ".reserve needs: region name len",
+                ));
             }
             let region = parse_region(tokens[1], line_no)?;
             let len = parse_int(tokens[3], line_no)?;
@@ -241,9 +247,9 @@ fn parse_mem(token: &str, line_no: usize) -> Result<MemRef, AsmError> {
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
         .ok_or_else(|| AsmError::at_line(line_no, format!("bad memory operand `{token}`")))?;
-    let (base_str, idx_str) = inner
-        .split_once('+')
-        .ok_or_else(|| AsmError::at_line(line_no, format!("memory operand needs `+`: `{token}`")))?;
+    let (base_str, idx_str) = inner.split_once('+').ok_or_else(|| {
+        AsmError::at_line(line_no, format!("memory operand needs `+`: `{token}`"))
+    })?;
     let base = parse_areg(base_str.trim())
         .ok_or_else(|| AsmError::at_line(line_no, format!("bad base register `{base_str}`")))?;
     let idx_str = idx_str.trim();
@@ -251,8 +257,8 @@ fn parse_mem(token: &str, line_no: usize) -> Result<MemRef, AsmError> {
         Ok(MemRef::reg(base, reg))
     } else {
         let disp = parse_int(idx_str, line_no)?;
-        let disp = u32::try_from(disp)
-            .map_err(|_| AsmError::at_line(line_no, "negative displacement"))?;
+        let disp =
+            u32::try_from(disp).map_err(|_| AsmError::at_line(line_no, "negative displacement"))?;
         Ok(MemRef::disp(base, disp))
     }
 }

@@ -1,84 +1,77 @@
-//! Criterion benchmarks of the simulator engine itself: how fast the host
-//! simulates network cycles and whole-machine cycles.
+//! Benchmarks of the simulator engine itself: how fast the host simulates
+//! network cycles and whole-machine cycles. Self-timed (`harness = false`,
+//! no criterion) so the workspace builds hermetically.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jm_bench::harness::bench;
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::{MeshDims, NodeId, RouteWord};
 use jm_isa::word::{MsgHeader, Word};
-use jm_machine::{JMachine, MachineConfig, StartPolicy};
+use jm_machine::{Engine, JMachine, MachineConfig, StartPolicy};
 use jm_net::{InjectResult, NetConfig, Network};
 
-/// Steps an idle 512-node network (the fast path: every router skipped).
-fn idle_network(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("idle_step_512", |b| {
-        let mut net = Network::new(NetConfig::prototype_512());
-        b.iter(|| net.step());
-    });
-    group.finish();
+/// Steps an idle 512-node network (the fast path: O(1) idle check).
+fn idle_network() {
+    let mut net = Network::new(NetConfig::prototype_512());
+    bench("net/idle_step_512", 100_000, 7, || net.step());
 }
 
 /// Steps a 64-node network under sustained random traffic.
-fn loaded_network(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("loaded_step_64", |b| {
-        let dims = MeshDims::for_nodes(64);
-        let mut net = Network::new(NetConfig::new(dims));
-        let mut seed = 12345u64;
-        b.iter(|| {
-            for n in 0..64u32 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let dst = ((seed >> 33) % 64) as u32;
-                let route = RouteWord::new(dims.coord(NodeId(dst))).to_word();
-                if net.inject(NodeId(n), MsgPriority::P0, route, false)
-                    == InjectResult::Accepted
-                {
-                    net.inject(
-                        NodeId(n),
-                        MsgPriority::P0,
-                        MsgHeader::new(1, 2).to_word(),
-                        false,
-                    );
-                    net.inject(NodeId(n), MsgPriority::P0, Word::int(1), true);
-                }
+fn loaded_network() {
+    let dims = MeshDims::for_nodes(64);
+    let mut net = Network::new(NetConfig::new(dims));
+    let mut seed = 12345u64;
+    bench("net/loaded_step_64", 2_000, 7, || {
+        for n in 0..64u32 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let dst = ((seed >> 33) % 64) as u32;
+            let route = RouteWord::new(dims.coord(NodeId(dst))).to_word();
+            if net.inject(NodeId(n), MsgPriority::P0, route, false) == InjectResult::Accepted {
+                net.inject(
+                    NodeId(n),
+                    MsgPriority::P0,
+                    MsgHeader::new(1, 2).to_word(),
+                    false,
+                );
+                net.inject(NodeId(n), MsgPriority::P0, Word::int(1), true);
             }
-            net.step();
-            for n in 0..64u32 {
-                while net.pop_delivered(NodeId(n), MsgPriority::P0).is_some() {}
-            }
-        });
+        }
+        net.step();
+        for n in 0..64u32 {
+            while net.pop_delivered(NodeId(n), MsgPriority::P0).is_some() {}
+        }
     });
-    group.finish();
 }
 
-/// Builds the Figure-3 exchange-loop machine and measures simulated
-/// machine-cycles per host second at three machine sizes.
-fn machine_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine");
-    for &nodes in &[8u32, 64, 512] {
-        group.throughput(Throughput::Elements(u64::from(nodes)));
-        group.bench_with_input(BenchmarkId::new("exchange_cycle", nodes), &nodes, |b, &nodes| {
+/// Builds the Figure-3 exchange-loop machine and measures stepped machine
+/// cycles at three sizes, for both engines.
+fn machine_throughput() {
+    for engine in [Engine::Naive, Engine::Event] {
+        for &nodes in &[8u32, 64, 512] {
             let p = jm_bench::micro::load::debug_program(4, 20);
             let mut m = JMachine::new(
                 p,
-                MachineConfig::new(nodes).start(StartPolicy::AllNodes),
+                MachineConfig::new(nodes)
+                    .start(StartPolicy::AllNodes)
+                    .engine(engine),
             );
             m.run(2_000); // warm
-            b.iter(|| m.step());
-        });
+            let name = format!("machine/exchange_cycle/{engine:?}/{nodes}");
+            bench(&name, 10_000, 5, || m.step());
+        }
     }
-    group.finish();
 }
 
 /// Assembly speed: how fast the toolchain assembles the radix-sort program.
-fn assemble_program(c: &mut Criterion) {
+fn assemble_program() {
     let cfg = jm_apps::radix::RadixConfig::scaled();
-    c.bench_function("assemble_radix", |b| {
-        b.iter(|| jm_apps::radix::program(&cfg, 64));
+    bench("assemble_radix", 20, 5, || {
+        std::hint::black_box(jm_apps::radix::program(&cfg, 64));
     });
 }
 
-criterion_group!(benches, idle_network, loaded_network, machine_throughput, assemble_program);
-criterion_main!(benches);
+fn main() {
+    idle_network();
+    loaded_network();
+    machine_throughput();
+    assemble_program();
+}

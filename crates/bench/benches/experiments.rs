@@ -1,46 +1,38 @@
-//! Criterion wrappers around scaled-down experiment kernels, so `cargo
+//! Self-timed wrappers around scaled-down experiment kernels, so `cargo
 //! bench` exercises each table/figure path end to end and tracks host-side
-//! regression of the harness.
+//! regression of the harness. (`harness = false`, no criterion, so the
+//! workspace builds hermetically.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jm_bench::harness::bench;
 
-fn micro_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-    group.bench_function("fig2_point", |b| {
-        b.iter(|| jm_bench::micro::latency::measure(8).expect("fig2"));
+fn micro_experiments() {
+    bench("experiments/fig2_point", 1, 5, || {
+        jm_bench::micro::latency::measure(8).expect("fig2");
     });
-    group.bench_function("table1_overhead", |b| {
-        b.iter(|| jm_bench::micro::overhead::measure().expect("table1"));
+    bench("experiments/table1_overhead", 1, 5, || {
+        jm_bench::micro::overhead::measure().expect("table1");
     });
-    group.bench_function("fig3_point_64n", |b| {
-        b.iter(|| {
-            jm_bench::micro::load::measure_point(64, 4, 100, 1_000, 5_000).expect("fig3")
-        });
+    bench("experiments/fig3_point_64n", 1, 5, || {
+        jm_bench::micro::load::measure_point(64, 4, 100, 1_000, 5_000).expect("fig3");
     });
-    group.bench_function("fig4_point", |b| {
-        b.iter(|| {
-            jm_bench::micro::bandwidth::measure_point(
-                8,
-                jm_bench::micro::bandwidth::Sink::Discard,
-                1_000,
-                5_000,
-            )
-            .expect("fig4")
-        });
+    bench("experiments/fig4_point", 1, 5, || {
+        jm_bench::micro::bandwidth::measure_point(
+            8,
+            jm_bench::micro::bandwidth::Sink::Discard,
+            1_000,
+            5_000,
+        )
+        .expect("fig4");
     });
-    group.bench_function("table2_sync", |b| {
-        b.iter(|| jm_bench::micro::sync::measure().expect("table2"));
+    bench("experiments/table2_sync", 1, 5, || {
+        jm_bench::micro::sync::measure().expect("table2");
     });
-    group.bench_function("table3_barrier_16n", |b| {
-        b.iter(|| jm_bench::micro::barrier::measure_point(16, 2).expect("table3"));
+    bench("experiments/table3_barrier_16n", 1, 5, || {
+        jm_bench::micro::barrier::measure_point(16, 2).expect("table3");
     });
-    group.finish();
 }
 
-fn macro_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("apps");
-    group.sample_size(10);
+fn macro_experiments() {
     let problems = jm_bench::macrob::Problems {
         lcs: jm_apps::lcs::LcsConfig {
             a_len: 64,
@@ -61,12 +53,14 @@ fn macro_experiments(c: &mut Criterion) {
         },
     };
     for app in jm_bench::macrob::App::ALL {
-        group.bench_function(app.name(), |b| {
-            b.iter(|| jm_bench::macrob::run_app(app, 8, &problems).expect("app run"));
+        let name = format!("apps/{}", app.name());
+        bench(&name, 1, 5, || {
+            jm_bench::macrob::run_app(app, 8, &problems).expect("app run");
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, micro_experiments, macro_experiments);
-criterion_main!(benches);
+fn main() {
+    micro_experiments();
+    macro_experiments();
+}

@@ -1,0 +1,188 @@
+//! Measures host-side simulation throughput (simulated cycles per second of
+//! wall clock) of the two machine engines on contrasting workloads, and
+//! writes `BENCH_engine.json`.
+//!
+//! Usage: `engine_perf [--out PATH] [--quick]`
+//!
+//! Two workloads bracket the design space:
+//!
+//! * **ring (idle-dominated)** — one token circulates a 64-node ring, so at
+//!   any instant one node works and 63 idle. This is the case the
+//!   event-driven engine exists for: parked nodes and flitless routers cost
+//!   nothing, and quiescence is an O(1) check. Expected speedup: large
+//!   (the acceptance floor is 2x).
+//! * **exchange (load-dominated)** — every node runs the Figure-3 exchange
+//!   loop continuously. Here the worklist is always full, so the event
+//!   engine can only match the naive engine, not beat it; the measurement
+//!   guards against the bookkeeping becoming a regression.
+//!
+//! Both engines execute the identical workload in the same process run, so
+//! the reported speedup is apples-to-apples.
+
+use jm_asm::{hdr, Builder, Program};
+use jm_bench::harness::time_once;
+use jm_isa::instr::{AluOp, MsgPriority};
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_machine::{Engine, JMachine, MachineConfig, StartPolicy};
+use jm_runtime::nnr;
+use std::fmt::Write as _;
+
+/// One engine's measurement on one workload.
+struct Measurement {
+    wall_secs: f64,
+    cycles: u64,
+}
+
+impl Measurement {
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Token-ring program: `rounds` full circulations of a single message.
+fn ring_program(rounds: i32) -> Program {
+    let mut b = Builder::new();
+    b.data("acc", jm_asm::Region::Imem, vec![jm_isa::Word::int(0)]);
+    b.reserve("next_route", jm_asm::Region::Imem, 1);
+    b.label("main");
+    b.mov(R0, Special::Nid);
+    b.addi(R0, R0, 1);
+    b.alu(AluOp::Rem, R0, R0, Special::NNodes);
+    b.call(nnr::NID_TO_ROUTE);
+    b.load_seg(A0, "next_route");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.mov(R0, Special::Nid);
+    b.bnz(R0, "main_done");
+    b.mov(R1, Special::NNodes);
+    b.alu(AluOp::Mul, R1, R1, rounds);
+    b.load_seg(A1, "next_route");
+    b.send(MsgPriority::P0, MemRef::disp(A1, 0));
+    b.send2e(MsgPriority::P0, hdr("token", 2), R1);
+    b.label("main_done");
+    b.suspend();
+    b.label("token");
+    b.mov(R1, MemRef::disp(A3, 1));
+    b.load_seg(A0, "acc");
+    b.mov(R2, MemRef::disp(A0, 0));
+    b.addi(R2, R2, 1);
+    b.mov(MemRef::disp(A0, 0), R2);
+    b.subi(R1, R1, 1);
+    b.bz(R1, "token_done");
+    b.load_seg(A1, "next_route");
+    b.send(MsgPriority::P0, MemRef::disp(A1, 0));
+    b.send2e(MsgPriority::P0, hdr("token", 2), R1);
+    b.label("token_done");
+    b.suspend();
+    b.entry("main");
+    nnr::install(&mut b);
+    b.assemble().unwrap()
+}
+
+/// Runs `program` to quiescence under `engine` and measures wall time.
+fn run_to_quiescence(program: Program, nodes: u32, engine: Engine, max: u64) -> Measurement {
+    let mut m = JMachine::new(
+        program,
+        MachineConfig::new(nodes)
+            .start(StartPolicy::AllNodes)
+            .engine(engine),
+    );
+    let (wall, cycles) = time_once(|| m.run_until_quiescent(max).expect("workload quiesces"));
+    Measurement {
+        wall_secs: wall.as_secs_f64(),
+        cycles,
+    }
+}
+
+/// Steps `program` for a fixed number of cycles under `engine`.
+fn run_fixed(program: Program, nodes: u32, engine: Engine, cycles: u64) -> Measurement {
+    let mut m = JMachine::new(
+        program,
+        MachineConfig::new(nodes)
+            .start(StartPolicy::AllNodes)
+            .engine(engine),
+    );
+    let (wall, ()) = time_once(|| m.run(cycles));
+    Measurement {
+        wall_secs: wall.as_secs_f64(),
+        cycles,
+    }
+}
+
+fn json_workload(out: &mut String, name: &str, naive: &Measurement, event: &Measurement) {
+    let speedup = event.cycles_per_sec() / naive.cycles_per_sec();
+    let _ = writeln!(
+        out,
+        "    {{\n      \"name\": \"{name}\",\n      \"cycles\": {},\n      \"naive\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n      \"event\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n      \"speedup\": {:.2}\n    }},",
+        event.cycles,
+        naive.wall_secs,
+        naive.cycles_per_sec(),
+        event.wall_secs,
+        event.cycles_per_sec(),
+        speedup,
+    );
+    println!(
+        "{name:<24} naive {:>12.0} cyc/s   event {:>12.0} cyc/s   speedup {speedup:.2}x",
+        naive.cycles_per_sec(),
+        event.cycles_per_sec(),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let ring_nodes = 64;
+    let ring_rounds = if quick { 20 } else { 100 };
+    let exch_nodes = 64;
+    let exch_cycles = if quick { 20_000 } else { 100_000 };
+
+    // Idle-dominated: one busy node, 63 parked.
+    let ring_naive = run_to_quiescence(
+        ring_program(ring_rounds),
+        ring_nodes,
+        Engine::Naive,
+        500_000_000,
+    );
+    let ring_event = run_to_quiescence(
+        ring_program(ring_rounds),
+        ring_nodes,
+        Engine::Event,
+        500_000_000,
+    );
+    assert_eq!(
+        ring_naive.cycles, ring_event.cycles,
+        "engines must quiesce at the same cycle"
+    );
+
+    // Load-dominated: every node busy every cycle.
+    let exch_program = jm_bench::micro::load::debug_program(4, 20);
+    let exch_naive = run_fixed(exch_program.clone(), exch_nodes, Engine::Naive, exch_cycles);
+    let exch_event = run_fixed(exch_program, exch_nodes, Engine::Event, exch_cycles);
+
+    let mut out = String::from("{\n  \"bench\": \"engine\",\n  \"workloads\": [\n");
+    json_workload(&mut out, "ring64_idle_dominated", &ring_naive, &ring_event);
+    json_workload(
+        &mut out,
+        "exchange64_load_dominated",
+        &exch_naive,
+        &exch_event,
+    );
+    // Strip the trailing comma to keep the JSON valid.
+    let trimmed = out.trim_end_matches(",\n").to_string();
+    let body = format!("{trimmed}\n  ]\n}}\n");
+    std::fs::write(&out_path, &body).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+
+    let speedup = ring_event.cycles_per_sec() / ring_naive.cycles_per_sec();
+    assert!(
+        speedup >= 2.0,
+        "idle-dominated speedup {speedup:.2}x below the 2x acceptance floor"
+    );
+}

@@ -10,10 +10,12 @@ fn main() {
         .unwrap_or(512);
     let lengths = [2u32, 4, 8, 16];
     let idles = [0u32, 50, 150, 400, 1000, 3000];
-    let points = jm_bench::micro::load::measure(nodes, &lengths, &idles, 3_000, 20_000)
-        .expect("fig3 run");
-    let capacity = jm_net::NetConfig::new(jm_isa::MeshDims::for_nodes(nodes))
-        .bisection_capacity_bits()
-        / 1e6;
-    print!("{}", jm_bench::micro::load::render(nodes, &points, capacity));
+    let points =
+        jm_bench::micro::load::measure(nodes, &lengths, &idles, 3_000, 20_000).expect("fig3 run");
+    let capacity =
+        jm_net::NetConfig::new(jm_isa::MeshDims::for_nodes(nodes)).bisection_capacity_bits() / 1e6;
+    print!(
+        "{}",
+        jm_bench::micro::load::render(nodes, &points, capacity)
+    );
 }

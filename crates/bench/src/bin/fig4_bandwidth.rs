@@ -2,7 +2,6 @@
 
 fn main() {
     let lengths = [1u32, 2, 3, 4, 6, 8, 12, 16];
-    let points =
-        jm_bench::micro::bandwidth::measure(&lengths, 2_000, 20_000).expect("fig4 run");
+    let points = jm_bench::micro::bandwidth::measure(&lengths, 2_000, 20_000).expect("fig4 run");
     print!("{}", jm_bench::micro::bandwidth::render(&points, &lengths));
 }

@@ -220,7 +220,10 @@ pub fn run_app(app: App, nodes: u32, problems: &Problems) -> Result<AppRun, Mach
 /// # Errors
 ///
 /// Propagates machine failures.
-pub fn fig5(sizes: &[u32], problems: &Problems) -> Result<BTreeMap<App, Vec<AppRun>>, MachineError> {
+pub fn fig5(
+    sizes: &[u32],
+    problems: &Problems,
+) -> Result<BTreeMap<App, Vec<AppRun>>, MachineError> {
     let mut out = BTreeMap::new();
     for app in App::ALL {
         let mut runs = Vec::new();
@@ -328,7 +331,9 @@ pub fn render_table4(runs: &[AppRun]) -> String {
     }
     out.push_str(&t.render());
     out.push_str("\npaper (64 nodes): LCS NxtChar 262k threads, 232 instr/thread, len 3;\n");
-    out.push_str("RadixSort Write threads of 4 instructions, len 3; NQueens ~300k-instr tasks, len 8\n");
+    out.push_str(
+        "RadixSort Write threads of 4 instructions, len 3; NQueens ~300k-instr tasks, len 8\n",
+    );
     out
 }
 

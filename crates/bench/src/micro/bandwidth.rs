@@ -204,7 +204,12 @@ mod tests {
         // Peak is 200 Mb/s × L/(L+1) wire efficiency.
         assert!(p16.mbits > 140.0 && p16.mbits <= 200.0, "{}", p16.mbits);
         // 2-word messages already beat half the eventual peak (paper).
-        assert!(p2.mbits * 2.0 > p16.mbits, "p2 {} p16 {}", p2.mbits, p16.mbits);
+        assert!(
+            p2.mbits * 2.0 > p16.mbits,
+            "p2 {} p16 {}",
+            p2.mbits,
+            p16.mbits
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ pub fn render(points: &[BarrierPoint]) -> String {
     out.push_str("Table 3: software barrier synchronization (microseconds)\n\n");
     let models = baselines::table3_models();
     let paper = baselines::paper_jmachine_barrier();
-    let mut header = vec!["nodes".to_string(), "J (measured)".to_string(), "J (paper)".to_string()];
+    let mut header = vec![
+        "nodes".to_string(),
+        "J (measured)".to_string(),
+        "J (paper)".to_string(),
+    ];
     for m in &models {
         header.push(m.name.to_string());
     }

@@ -93,11 +93,7 @@ impl Curve {
 
 fn program(kind: RpcKind) -> Program {
     let mut b = Builder::new();
-    b.data(
-        "f2_p",
-        jm_asm::Region::Imem,
-        vec![jm_isa::Word::int(0); 2],
-    );
+    b.data("f2_p", jm_asm::Region::Imem, vec![jm_isa::Word::int(0); 2]);
     b.label("main");
     b.load_seg(A0, "f2_p");
     b.load_seg(A1, rpc::FLAG);
@@ -145,7 +141,10 @@ fn program(kind: RpcKind) -> Program {
 /// then Z.
 fn target_at(dims: MeshDims, hops: u32) -> Coord {
     let max = u32::from(dims.x - 1) + u32::from(dims.y - 1) + u32::from(dims.z - 1);
-    assert!(hops <= max, "distance {hops} exceeds machine diameter {max}");
+    assert!(
+        hops <= max,
+        "distance {hops} exceeds machine diameter {max}"
+    );
     let x = hops.min(u32::from(dims.x - 1));
     let rest = hops - x;
     let y = rest.min(u32::from(dims.y - 1));
@@ -168,16 +167,9 @@ pub fn measure(nodes: u32) -> Result<Vec<Curve>, MachineError> {
         for hops in 0..=diameter {
             let p = program(kind);
             let param = p.segment("f2_p");
-            let mut m = JMachine::new(
-                p,
-                MachineConfig::with_dims(dims).start(StartPolicy::Node0),
-            );
+            let mut m = JMachine::new(p, MachineConfig::with_dims(dims).start(StartPolicy::Node0));
             let target = target_at(dims, hops);
-            m.write_word(
-                NodeId(0),
-                param.base,
-                RouteWord::new(target).to_word(),
-            );
+            m.write_word(NodeId(0), param.base, RouteWord::new(target).to_word());
             m.run_until_quiescent(1_000_000)?;
             let cycles = m.read_word(NodeId(0), param.base + 1).as_i32() as u64;
             points.push((hops, cycles));
@@ -245,13 +237,7 @@ mod tests {
             );
         }
         // Reads cost more than pings; external reads more than internal.
-        let base = |k: RpcKind| {
-            curves
-                .iter()
-                .find(|c| c.kind == k)
-                .unwrap()
-                .base()
-        };
+        let base = |k: RpcKind| curves.iter().find(|c| c.kind == k).unwrap().base();
         assert!(base(RpcKind::Read1Imem) > base(RpcKind::Ping));
         assert!(base(RpcKind::Read1Emem) > base(RpcKind::Read1Imem));
         assert!(base(RpcKind::Read6Emem) > base(RpcKind::Read6Imem));

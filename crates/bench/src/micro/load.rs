@@ -193,8 +193,8 @@ pub fn measure_point(
     } else {
         rt_sum as f64 / count as f64 / 2.0
     };
-    let compute =
-        stats1.nodes.class_cycles(StatClass::Compute) - stats0.nodes.class_cycles(StatClass::Compute);
+    let compute = stats1.nodes.class_cycles(StatClass::Compute)
+        - stats0.nodes.class_cycles(StatClass::Compute);
     let total = u64::from(nodes) * window;
     let period = if count == 0 {
         0.0
@@ -241,12 +241,7 @@ pub fn render(nodes: u32, points: &[LoadPoint], capacity_mbits: f64) -> String {
     out.push_str(&format!(
         "bisection capacity {capacity_mbits:.0} Mbit/s; paper saturates near 6000 of 14400 Mbit/s\n\n",
     ));
-    let mut t = TextTable::new(vec![
-        "len(words)",
-        "idle",
-        "traffic(Mb/s)",
-        "latency(cyc)",
-    ]);
+    let mut t = TextTable::new(vec!["len(words)", "idle", "traffic(Mb/s)", "latency(cyc)"]);
     for p in points {
         t.row(vec![
             p.msg_len.to_string(),

@@ -168,7 +168,8 @@ pub fn measure() -> Result<SyncCosts, MachineError> {
     let results = p.segment("t2_r");
     let cfut = p.handler("t2_cfut");
     let mut m = JMachine::new(p, MachineConfig::new(1).start(StartPolicy::AllNodes));
-    m.node_mut(NodeId(0)).install_vector(FaultKind::CFutRead, cfut);
+    m.node_mut(NodeId(0))
+        .install_vector(FaultKind::CFutRead, cfut);
     m.run_until_quiescent(100_000)?;
     let r = |i: u32| m.read_word(NodeId(0), results.base + i).as_i32() as u64;
 
@@ -255,7 +256,11 @@ mod tests {
         assert_eq!(c.success_notags, 5);
         assert_eq!(c.write_notags, 6);
         // Failure with tags: fault entry dominated, single digits.
-        assert!(c.failure_tags >= 5 && c.failure_tags <= 10, "{}", c.failure_tags);
+        assert!(
+            c.failure_tags >= 5 && c.failure_tags <= 10,
+            "{}",
+            c.failure_tags
+        );
         // Save/restore in or near the paper's ranges.
         assert!(c.save >= 25 && c.save <= 90, "save {}", c.save);
         assert!(c.restore >= 15 && c.restore <= 90, "restore {}", c.restore);

@@ -59,10 +59,7 @@ impl TextTable {
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.header.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

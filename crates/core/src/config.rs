@@ -18,6 +18,23 @@ pub enum StartPolicy {
     None,
 }
 
+/// Which simulation engine drives the machine's clock.
+///
+/// Both engines are **cycle-exact**: final memory, machine statistics,
+/// per-class cycle attribution, and network counters are identical. They
+/// differ only in host run time — the event engine tracks work instead of
+/// scanning for it, so idle nodes and an empty network cost nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Event-driven: active-node worklist, delivery notification, active
+    /// routers only, and O(1) quiescence. The default.
+    #[default]
+    Event,
+    /// Naive reference: every node ticks and every router is scanned every
+    /// cycle. Kept as the semantic baseline for differential testing.
+    Naive,
+}
+
 /// Configuration of a whole machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -29,6 +46,8 @@ pub struct MachineConfig {
     pub net: NetConfig,
     /// Background start policy.
     pub start: StartPolicy,
+    /// Simulation engine.
+    pub engine: Engine,
 }
 
 impl MachineConfig {
@@ -45,6 +64,7 @@ impl MachineConfig {
             mdp: MdpConfig::default(),
             net: NetConfig::new(dims),
             start: StartPolicy::default(),
+            engine: Engine::default(),
         }
     }
 
@@ -55,6 +75,7 @@ impl MachineConfig {
             mdp: MdpConfig::default(),
             net: NetConfig::new(dims),
             start: StartPolicy::default(),
+            engine: Engine::default(),
         }
     }
 
@@ -72,6 +93,12 @@ impl MachineConfig {
     /// Sets the per-node configuration (builder style).
     pub fn mdp(mut self, mdp: MdpConfig) -> MachineConfig {
         self.mdp = mdp;
+        self
+    }
+
+    /// Sets the simulation engine (builder style).
+    pub fn engine(mut self, engine: Engine) -> MachineConfig {
+        self.engine = engine;
         self
     }
 

@@ -42,6 +42,6 @@ mod config;
 mod machine;
 mod stats;
 
-pub use config::{MachineConfig, StartPolicy};
+pub use config::{Engine, MachineConfig, StartPolicy};
 pub use machine::{JMachine, MachineError};
 pub use stats::MachineStats;

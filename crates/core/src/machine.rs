@@ -1,14 +1,24 @@
 //! The machine: nodes + network under one clock.
+//!
+//! Two engines drive that clock (see [`Engine`]): a naive reference that
+//! scans every node and router each cycle, and the default event-driven
+//! engine that tracks *where work is* — a wake-up heap for busy nodes, the
+//! network's delivery notifications for queue pumping, and counters that
+//! make quiescence an O(1) check. Both produce bit-identical observable
+//! results; `DESIGN.md` ("Simulation engine scheduling") gives the
+//! invariants and the cycle-exactness argument.
 
-use crate::config::{MachineConfig, StartPolicy};
+use crate::config::{Engine, MachineConfig, StartPolicy};
 use crate::stats::MachineStats;
 use jm_asm::Program;
 use jm_isa::consts::FaultKind;
-use jm_isa::instr::MsgPriority;
+use jm_isa::instr::{MsgPriority, StatClass};
 use jm_isa::node::NodeId;
 use jm_isa::word::{MsgHeader, Word};
-use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError};
+use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError, TickOutcome};
 use jm_net::{InjectResult, Network};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -78,6 +88,96 @@ impl NetPort for Port<'_> {
     }
 }
 
+/// Sentinel in `wake_at`: the node is parked (not in the wake heap).
+const PARKED: u64 = u64::MAX;
+/// Sentinel in `idle_since`: the node is not parked idle.
+const NOT_IDLE: u64 = u64::MAX;
+
+/// Event-engine bookkeeping: which nodes need ticking and when.
+///
+/// Invariants (between steps):
+/// * node `i` has exactly one heap entry iff `wake_at[i] != PARKED`, and
+///   that entry is `(wake_at[i], i)`;
+/// * a parked node's `schedule()` decision is `Idle` or `Stopped`, so it
+///   cannot make progress until a delivery arrives (which re-schedules it);
+/// * `idle_since[i] != NOT_IDLE` iff `i` is parked after an idle tick;
+///   cycles `idle_since[i]..` are idle cycles the node has not yet been
+///   credited for (repaid on wake-up, or virtually by [`JMachine::stats`]);
+/// * `has_work[i]` mirrors `nodes[i].has_work()` and `work_count` counts
+///   the `true` entries, making quiescence O(1);
+/// * `errored[i]`/`error_count` latch nodes that stopped with an error.
+struct EventSched {
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    wake_at: Vec<u64>,
+    idle_since: Vec<u64>,
+    has_work: Vec<bool>,
+    work_count: usize,
+    errored: Vec<bool>,
+    error_count: usize,
+    /// Scratch for the pump's snapshot of nodes with pending deliveries.
+    pump_scratch: Vec<u32>,
+}
+
+impl EventSched {
+    /// Every node starts scheduled for cycle 0 — the first step ticks them
+    /// all once, exactly like the naive engine, and the workless ones park.
+    fn new(nodes: &[MdpNode]) -> EventSched {
+        let n = nodes.len();
+        let has_work: Vec<bool> = nodes.iter().map(MdpNode::has_work).collect();
+        let work_count = has_work.iter().filter(|&&w| w).count();
+        EventSched {
+            heap: (0..n as u32).map(|i| Reverse((0, i))).collect(),
+            wake_at: vec![0; n],
+            idle_since: vec![NOT_IDLE; n],
+            has_work,
+            work_count,
+            errored: vec![false; n],
+            error_count: 0,
+            pump_scratch: Vec::new(),
+        }
+    }
+
+    /// Enters a popped (or parked) node into the heap for cycle `at`.
+    fn schedule(&mut self, i: usize, at: u64) {
+        self.wake_at[i] = at;
+        self.heap.push(Reverse((at, i as u32)));
+    }
+
+    /// Wakes a parked node for cycle `at` (no-op if already scheduled),
+    /// first repaying the idle cycles it skipped while parked.
+    fn wake(&mut self, node: &mut MdpNode, at: u64) {
+        let i = node.id().index();
+        if self.wake_at[i] != PARKED {
+            return;
+        }
+        if self.idle_since[i] != NOT_IDLE {
+            node.credit_idle(at - self.idle_since[i]);
+            self.idle_since[i] = NOT_IDLE;
+        }
+        self.schedule(i, at);
+    }
+
+    /// Updates the cached `has_work` bit for node `i`.
+    fn set_work(&mut self, i: usize, work: bool) {
+        if self.has_work[i] != work {
+            self.has_work[i] = work;
+            if work {
+                self.work_count += 1;
+            } else {
+                self.work_count -= 1;
+            }
+        }
+    }
+
+    /// Latches a node error (once).
+    fn record_error(&mut self, i: usize) {
+        if !self.errored[i] {
+            self.errored[i] = true;
+            self.error_count += 1;
+        }
+    }
+}
+
 /// A simulated J-Machine.
 pub struct JMachine {
     program: Arc<Program>,
@@ -85,6 +185,7 @@ pub struct JMachine {
     nodes: Vec<MdpNode>,
     net: Network,
     cycle: u64,
+    sched: EventSched,
 }
 
 impl fmt::Debug for JMachine {
@@ -117,13 +218,15 @@ impl JMachine {
                 };
                 MdpNode::new(id, config.dims, Arc::clone(&program), config.mdp, start)
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let sched = EventSched::new(&nodes);
         JMachine {
             program,
             config,
             nodes,
             net: Network::new(config.net),
             cycle: 0,
+            sched,
         }
     }
 
@@ -203,6 +306,10 @@ impl JMachine {
         for &w in args {
             assert!(target.deliver(priority, w), "host delivery overflow");
         }
+        if self.config.engine == Engine::Event {
+            self.sched.wake(target, self.cycle);
+            self.sched.set_work(node.index(), target.has_work());
+        }
     }
 
     /// Host interface: reads a word of node memory.
@@ -231,8 +338,16 @@ impl JMachine {
     }
 
     /// Advances the machine by one cycle: ejected words are pumped into the
-    /// queues, every node ticks, and the network moves flits.
+    /// queues, nodes tick, and the network moves flits.
     pub fn step(&mut self) {
+        match self.config.engine {
+            Engine::Naive => self.step_naive(),
+            Engine::Event => self.step_event(),
+        }
+    }
+
+    /// Reference engine: pump, tick, and scan everything, every cycle.
+    fn step_naive(&mut self) {
         let now = self.cycle;
         // 1. Pump ejection FIFOs into message queues (hardware path,
         //    rate-limited upstream by the 0.5 words/cycle eject channel).
@@ -262,6 +377,91 @@ impl JMachine {
         self.cycle += 1;
     }
 
+    /// Event engine: touch only nodes that can act this cycle. Cycle-exact
+    /// with [`Self::step_naive`] — skipped nodes are exactly those whose
+    /// naive tick would be a no-op (still busy) or a pure idle count
+    /// (repaid on wake-up), and skipped routers hold no flits.
+    fn step_event(&mut self) {
+        let now = self.cycle;
+        // 1. Pump — only nodes the network flagged as holding deliveries.
+        //    The ascending-id snapshot mirrors the naive 0..n scan order
+        //    (node id order; nothing a pump does affects another node).
+        let mut pending = std::mem::take(&mut self.sched.pump_scratch);
+        pending.clear();
+        pending.extend(self.net.pending_nodes().map(|id| id.0));
+        for &n in &pending {
+            let id = NodeId(n);
+            let node = &mut self.nodes[id.index()];
+            let mut delivered = false;
+            for priority in MsgPriority::ALL {
+                while let Some(word) = self.net.delivered_front(id, priority) {
+                    if node.deliver(priority, word) {
+                        self.net.pop_delivered(id, priority);
+                        delivered = true;
+                    } else {
+                        break; // queue full: backpressure
+                    }
+                }
+            }
+            if delivered {
+                self.sched.wake(node, now);
+                self.sched.set_work(id.index(), node.has_work());
+            }
+        }
+        self.sched.pump_scratch = pending;
+        // 2. Execute every node due this cycle. Pop order within a cycle is
+        //    irrelevant: a node's tick touches only its own state and its
+        //    own injection FIFO.
+        while let Some(&Reverse((c, i))) = self.sched.heap.peek() {
+            if c > now {
+                break;
+            }
+            self.sched.heap.pop();
+            let i = i as usize;
+            if self.sched.wake_at[i] != c {
+                continue; // superseded entry
+            }
+            self.sched.wake_at[i] = PARKED;
+            let node = &mut self.nodes[i];
+            let mut port = Port {
+                net: &mut self.net,
+                node: node.id(),
+            };
+            match node.tick(now, &mut port) {
+                TickOutcome::Busy { until } => self.sched.schedule(i, until.max(now + 1)),
+                TickOutcome::Idle => self.sched.idle_since[i] = now + 1,
+                TickOutcome::Stopped => {
+                    if node.error().is_some() {
+                        self.sched.record_error(i);
+                    }
+                }
+            }
+            self.sched.set_work(i, self.nodes[i].has_work());
+        }
+        // 3. Move the network (O(1) when no flits are buffered).
+        self.net.step();
+        self.cycle += 1;
+    }
+
+    /// Event engine: jumps the clock to the next cycle where anything can
+    /// happen (earliest scheduled wake-up), bounded by `limit`. Legal only
+    /// while the network is idle — every skipped cycle is then provably a
+    /// no-op for every component except idle accounting, which is repaid on
+    /// wake-up or virtually in [`Self::stats`].
+    fn fast_forward(&mut self, limit: u64) {
+        if !self.net.is_idle() {
+            return;
+        }
+        let target = match self.sched.heap.peek() {
+            Some(&Reverse((c, _))) => c.min(limit),
+            None => limit,
+        };
+        if target > self.cycle {
+            self.net.skip_to(target);
+            self.cycle = target;
+        }
+    }
+
     /// Runs for a fixed number of cycles.
     pub fn run(&mut self, cycles: u64) {
         for _ in 0..cycles {
@@ -270,9 +470,13 @@ impl JMachine {
     }
 
     /// Whether nothing can happen anymore: every node idle with empty
-    /// queues and the network drained.
+    /// queues and the network drained. O(1) on the event engine (maintained
+    /// counters); a full scan on the naive engine.
     pub fn is_quiescent(&self) -> bool {
-        self.net.is_idle() && self.nodes.iter().all(|n| !n.has_work())
+        match self.config.engine {
+            Engine::Event => self.sched.work_count == 0 && self.net.is_idle(),
+            Engine::Naive => self.net.is_idle() && self.nodes.iter().all(|n| !n.has_work()),
+        }
     }
 
     /// Nodes that stopped with an error.
@@ -283,8 +487,27 @@ impl JMachine {
             .collect()
     }
 
-    /// Runs until quiescence (checking every few cycles), a node error, or
-    /// the cycle budget.
+    /// Whether any node stopped with an error (O(1) on the event engine).
+    fn any_node_error(&self) -> bool {
+        match self.config.engine {
+            Engine::Event => self.sched.error_count > 0,
+            Engine::Naive => self.nodes.iter().any(|n| n.error().is_some()),
+        }
+    }
+
+    /// Nodes that still have runnable or queued work.
+    fn busy_nodes(&self) -> u32 {
+        match self.config.engine {
+            Engine::Event => self.sched.work_count as u32,
+            Engine::Naive => self.nodes.iter().filter(|n| n.has_work()).count() as u32,
+        }
+    }
+
+    /// Runs until quiescence, a node error, or the cycle budget. All three
+    /// conditions are checked every cycle on both engines, so the returned
+    /// cycle counts (and timeout cycle counts) are engine-independent; on
+    /// the event engine each check is O(1) and stretches of cycles where
+    /// nothing can happen are skipped outright.
     ///
     /// # Errors
     ///
@@ -293,15 +516,11 @@ impl JMachine {
     /// [`MachineError::StrandedMessages`] if the machine quiesced with
     /// words still queued at halted/errored nodes.
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> Result<u64, MachineError> {
-        const CHECK_EVERY: u64 = 32;
         let start = self.cycle;
+        let deadline = start.saturating_add(max_cycles);
         loop {
-            for _ in 0..CHECK_EVERY {
-                self.step();
-            }
-            let errors = self.node_errors();
-            if !errors.is_empty() {
-                return Err(MachineError::NodeErrors(errors));
+            if self.any_node_error() {
+                return Err(MachineError::NodeErrors(self.node_errors()));
             }
             if self.is_quiescent() {
                 let stranded: Vec<NodeId> = self
@@ -315,21 +534,40 @@ impl JMachine {
                 }
                 return Ok(self.cycle - start);
             }
-            if self.cycle - start >= max_cycles {
+            if self.cycle >= deadline {
                 return Err(MachineError::Timeout {
                     cycles: self.cycle - start,
-                    busy_nodes: self.nodes.iter().filter(|n| n.has_work()).count() as u32,
+                    busy_nodes: self.busy_nodes(),
                     in_flight: self.net.in_flight(),
                 });
             }
+            if self.config.engine == Engine::Event {
+                self.fast_forward(deadline);
+                if self.cycle >= deadline {
+                    continue; // skipped straight to the budget: time out
+                }
+            }
+            self.step();
         }
     }
 
     /// Aggregated statistics snapshot.
+    ///
+    /// On the event engine, idle cycles owed to currently-parked nodes
+    /// (skipped since their last tick) are included here virtually, so the
+    /// snapshot always matches what the naive engine would report at the
+    /// same cycle. Per-node [`MdpNode::stats`] of a parked node lag by
+    /// exactly that idle residue until the node next wakes.
     pub fn stats(&self) -> MachineStats {
         let mut nodes = jm_mdp::NodeStats::default();
-        for node in &self.nodes {
+        for (i, node) in self.nodes.iter().enumerate() {
             nodes.merge(node.stats());
+            if self.config.engine == Engine::Event {
+                let since = self.sched.idle_since[i];
+                if since != NOT_IDLE && self.cycle > since {
+                    nodes.add_cycles(StatClass::Idle, self.cycle - since);
+                }
+            }
         }
         MachineStats {
             cycles: self.cycle,

@@ -5,7 +5,7 @@ use jm_mdp::NodeStats;
 use jm_net::NetStats;
 
 /// A machine-wide statistics snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -65,7 +65,11 @@ impl BitWriter {
                 self.limbs.push(0);
             }
             let take = (64 - offset).min(remaining);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.limbs[limb] |= (value & mask) << offset;
             value >>= take as u32 % 64;
             self.len += take;
@@ -97,7 +101,11 @@ impl<'a> BitReader<'a> {
             let limb = (self.pos + got) / 64;
             let offset = (self.pos + got) % 64;
             let take = (64 - offset).min(width - got);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             out |= ((self.limbs[limb] >> offset) & mask) << got;
             got += take;
         }
@@ -648,11 +656,7 @@ mod tests {
 
     #[test]
     fn footprint_counts_pairs() {
-        let prog = vec![
-            Instruction::Nop,
-            Instruction::Nop,
-            Instruction::Nop,
-        ];
+        let prog = vec![Instruction::Nop, Instruction::Nop, Instruction::Nop];
         // Three 1-slot instructions pack into two words.
         assert_eq!(footprint_words(&prog), 2);
     }

@@ -426,9 +426,7 @@ impl Instruction {
             Instruction::Alu1 { dst, src, .. } => dst_mem(dst) + src_mem(src),
             Instruction::Bc { src, .. } => src_mem(src),
             Instruction::Jmp { target } => src_mem(target),
-            Instruction::Send { a, b, .. } => {
-                src_mem(a) + b.as_ref().map_or(0, src_mem)
-            }
+            Instruction::Send { a, b, .. } => src_mem(a) + b.as_ref().map_or(0, src_mem),
             Instruction::Rtag { dst, src } => dst_mem(dst) + src_mem(src),
             Instruction::Wtag { dst, src, tag } => dst_mem(dst) + src_mem(src) + src_mem(tag),
             Instruction::Check { dst, src, .. } => dst_mem(dst) + src_mem(src),

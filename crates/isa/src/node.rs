@@ -117,7 +117,7 @@ impl MeshDims {
         let mut which = 0;
         let mut factor = 2;
         while remaining > 1 {
-            while remaining % factor != 0 {
+            while !remaining.is_multiple_of(factor) {
                 factor += 1;
             }
             dims[which % 3] *= factor;
@@ -206,9 +206,8 @@ impl RouteWord {
     /// Packs into a `route`-tagged word.
     #[inline]
     pub fn to_word(self) -> Word {
-        let bits = u32::from(self.dest.x)
-            | (u32::from(self.dest.y) << 5)
-            | (u32::from(self.dest.z) << 10);
+        let bits =
+            u32::from(self.dest.x) | (u32::from(self.dest.y) << 5) | (u32::from(self.dest.z) << 10);
         Word::new(Tag::Route, bits)
     }
 

@@ -1,0 +1,216 @@
+//! Randomized tests: every representable instruction round-trips through the
+//! binary encoding, and footprints are monotone under concatenation.
+//!
+//! Formerly proptest-based; now driven by the in-tree seeded PRNG so the
+//! workspace tests run hermetically. The generator draws uniformly from the
+//! same instruction space the proptest strategies covered.
+
+use jm_isa::encode::{decode, encode, footprint_words};
+use jm_isa::instr::{Alu1Op, AluOp, Cond, Instruction, MsgPriority, StatClass};
+use jm_isa::operand::{Dst, Index, MemRef, Special, Src};
+use jm_isa::reg::{AReg, DReg};
+use jm_isa::tag::Tag;
+use jm_isa::word::Word;
+use jm_prng::Prng;
+
+fn arb_dreg(g: &mut Prng) -> DReg {
+    DReg::from_index(g.range_usize(0, 4))
+}
+
+fn arb_areg(g: &mut Prng) -> AReg {
+    AReg::from_index(g.range_usize(0, 4))
+}
+
+fn arb_tag(g: &mut Prng) -> Tag {
+    Tag::from_bits(g.range_u32(0, 16) as u8)
+}
+
+fn arb_word(g: &mut Prng) -> Word {
+    Word::new(arb_tag(g), g.next_u32())
+}
+
+fn arb_mem(g: &mut Prng) -> MemRef {
+    let base = arb_areg(g);
+    let index = if g.chance(0.5) {
+        Index::Disp(g.range_u32(0, 1 << 20))
+    } else {
+        Index::Reg(arb_dreg(g))
+    };
+    MemRef { base, index }
+}
+
+fn arb_src(g: &mut Prng) -> Src {
+    match g.range_u32(0, 6) {
+        0 => Src::D(arb_dreg(g)),
+        1 => Src::A(arb_areg(g)),
+        2 => Src::Imm(arb_word(g)),
+        3 => Src::imm(g.next_u32() as i32),
+        4 => Src::Mem(arb_mem(g)),
+        _ => Src::Sp(Special::from_index(g.range_usize(0, 8))),
+    }
+}
+
+fn arb_dst(g: &mut Prng) -> Dst {
+    match g.range_u32(0, 3) {
+        0 => Dst::D(arb_dreg(g)),
+        1 => Dst::A(arb_areg(g)),
+        _ => Dst::Mem(arb_mem(g)),
+    }
+}
+
+fn arb_instr(g: &mut Prng) -> Instruction {
+    loop {
+        match g.range_u32(0, 19) {
+            0 => {
+                return Instruction::Move {
+                    dst: arb_dst(g),
+                    src: arb_src(g),
+                }
+            }
+            1 => {
+                return Instruction::Alu {
+                    op: AluOp::ALL[g.range_usize(0, 18)],
+                    dst: arb_dst(g),
+                    a: arb_src(g),
+                    b: arb_src(g),
+                }
+            }
+            2 => {
+                return Instruction::Alu1 {
+                    op: Alu1Op::ALL[g.range_usize(0, 3)],
+                    dst: arb_dst(g),
+                    src: arb_src(g),
+                }
+            }
+            3 => {
+                return Instruction::Br {
+                    off: g.next_u32() as i32,
+                }
+            }
+            4 => {
+                return Instruction::Bc {
+                    cond: Cond::ALL[g.range_usize(0, 4)],
+                    src: arb_src(g),
+                    off: g.next_u32() as i32,
+                }
+            }
+            5 => return Instruction::Jmp { target: arb_src(g) },
+            6 => {
+                return Instruction::Jal {
+                    link: arb_dreg(g),
+                    off: g.next_u32() as i32,
+                }
+            }
+            7 => {
+                return Instruction::Send {
+                    priority: if g.chance(0.5) {
+                        MsgPriority::P1
+                    } else {
+                        MsgPriority::P0
+                    },
+                    a: arb_src(g),
+                    b: g.chance(0.5).then(|| arb_src(g)),
+                    end: g.chance(0.5),
+                }
+            }
+            8 => return Instruction::Suspend,
+            9 => return Instruction::Resume,
+            10 => {
+                return Instruction::Rtag {
+                    dst: arb_dst(g),
+                    src: arb_src(g),
+                }
+            }
+            11 => {
+                return Instruction::Wtag {
+                    dst: arb_dst(g),
+                    src: arb_src(g),
+                    tag: arb_src(g),
+                }
+            }
+            12 => {
+                return Instruction::Check {
+                    dst: arb_dst(g),
+                    src: arb_src(g),
+                    tag: arb_tag(g),
+                }
+            }
+            13 => {
+                return Instruction::Enter {
+                    key: arb_src(g),
+                    value: arb_src(g),
+                }
+            }
+            14 => {
+                return Instruction::Xlate {
+                    dst: arb_dst(g),
+                    key: arb_src(g),
+                }
+            }
+            15 => {
+                return Instruction::Probe {
+                    dst: arb_dst(g),
+                    key: arb_src(g),
+                }
+            }
+            16 => {
+                let class = StatClass::ALL[g.range_usize(0, 7)];
+                if class.is_markable() {
+                    return Instruction::Mark { class };
+                }
+                // Unmarkable class drawn: redraw the whole instruction.
+            }
+            17 => return Instruction::Halt,
+            _ => return Instruction::Nop,
+        }
+    }
+}
+
+#[test]
+fn encoding_round_trips() {
+    let mut g = Prng::from_label("encoding_round_trips", 0);
+    for i in 0..20_000 {
+        let instr = arb_instr(&mut g);
+        let encoded = encode(&instr);
+        let decoded = decode(&encoded).expect("decode");
+        assert_eq!(decoded, instr, "case {i}");
+    }
+}
+
+#[test]
+fn slots_are_positive_and_bounded() {
+    let mut g = Prng::from_label("slots_bounded", 0);
+    for _ in 0..20_000 {
+        let instr = arb_instr(&mut g);
+        let encoded = encode(&instr);
+        assert!(encoded.slots() >= 1);
+        // No instruction should need more than 8 slots (4 words).
+        assert!(
+            encoded.slots() <= 8,
+            "{} slots for {}",
+            encoded.slots(),
+            instr
+        );
+        assert_eq!(encoded.slot_values().len(), encoded.slots());
+    }
+}
+
+#[test]
+fn footprint_is_additive_within_rounding() {
+    let mut g = Prng::from_label("footprint_additive", 0);
+    for _ in 0..500 {
+        let a: Vec<Instruction> = (0..g.range_usize(0, 20))
+            .map(|_| arb_instr(&mut g))
+            .collect();
+        let b: Vec<Instruction> = (0..g.range_usize(0, 20))
+            .map(|_| arb_instr(&mut g))
+            .collect();
+        let mut ab = a.clone();
+        ab.extend(b.iter().cloned());
+        let fa = footprint_words(&a);
+        let fb = footprint_words(&b);
+        let fab = footprint_words(&ab);
+        assert!(fab <= fa + fb);
+        assert!(fab + 1 >= fa + fb);
+    }
+}

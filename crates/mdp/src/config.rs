@@ -130,6 +130,6 @@ mod tests {
         for base in QUEUE_VBASE {
             assert!(base <= SegDesc::MAX_BASE);
         }
-        assert!(STAGING_VBASE + 3 * STAGING_FRAME <= SegDesc::MAX_BASE);
+        const _: () = assert!(STAGING_VBASE + 3 * STAGING_FRAME <= SegDesc::MAX_BASE);
     }
 }

@@ -47,7 +47,12 @@ enum Step {
 impl MdpNode {
     /// Executes at the given priority for one instruction (plus any
     /// zero-cost `MARK`s preceding it).
-    pub(crate) fn exec_slice(&mut self, priority: Priority, now: u64, net: &mut dyn NetPort) {
+    pub(crate) fn exec_slice<P: NetPort + ?Sized>(
+        &mut self,
+        priority: Priority,
+        now: u64,
+        net: &mut P,
+    ) {
         let pi = priority.index();
         loop {
             let ip = self.regs.bank(priority).ip;
@@ -100,7 +105,9 @@ impl MdpNode {
             Special::NNodes => Word::int(self.dims.nodes() as i32),
             Special::Dims => Word::new(
                 Tag::Route,
-                u32::from(self.dims.x) | (u32::from(self.dims.y) << 5) | (u32::from(self.dims.z) << 10),
+                u32::from(self.dims.x)
+                    | (u32::from(self.dims.y) << 5)
+                    | (u32::from(self.dims.z) << 10),
             ),
             Special::Cycle => Word::int(now as i32),
             Special::Fip => Word::ip(self.fip),
@@ -157,8 +164,7 @@ impl MdpNode {
             };
             return Ok(self.mem.read(addr));
         }
-        for q in 0..2 {
-            let base = QUEUE_VBASE[q];
+        for (q, &base) in QUEUE_VBASE.iter().enumerate() {
             let cap = self.queues[q].capacity() as u32;
             // The window is twice the ring size: a message descriptor's
             // base is `head_slot`, so in-message offsets may run past the
@@ -174,7 +180,7 @@ impl MdpNode {
                 };
             }
         }
-        if addr >= STAGING_VBASE && addr < STAGING_VBASE + 3 * STAGING_FRAME {
+        if (STAGING_VBASE..STAGING_VBASE + 3 * STAGING_FRAME).contains(&addr) {
             if let Some(word) = self.staging_read(addr) {
                 return Ok(word);
             }
@@ -198,10 +204,10 @@ impl MdpNode {
             self.mem.write(addr, word);
             return Ok(());
         }
-        if addr >= STAGING_VBASE && addr < STAGING_VBASE + 3 * STAGING_FRAME {
-            if self.staging_write(addr, word) {
-                return Ok(());
-            }
+        if (STAGING_VBASE..STAGING_VBASE + 3 * STAGING_FRAME).contains(&addr)
+            && self.staging_write(addr, word)
+        {
+            return Ok(());
         }
         // Queue windows are read-only to software.
         Err(Hazard::Fault(
@@ -300,15 +306,13 @@ impl MdpNode {
         match op {
             Eq => return Ok(Word::bool(a == b)),
             Ne => return Ok(Word::bool(a != b)),
-            And | Or | Xor => {
-                if a.tag() == Tag::Bool && b.tag() == Tag::Bool {
-                    let v = match op {
-                        And => a.as_bool() && b.as_bool(),
-                        Or => a.as_bool() || b.as_bool(),
-                        _ => a.as_bool() != b.as_bool(),
-                    };
-                    return Ok(Word::bool(v));
-                }
+            And | Or | Xor if a.tag() == Tag::Bool && b.tag() == Tag::Bool => {
+                let v = match op {
+                    And => a.as_bool() && b.as_bool(),
+                    Or => a.as_bool() || b.as_bool(),
+                    _ => a.as_bool() != b.as_bool(),
+                };
+                return Ok(Word::bool(v));
             }
             _ => {}
         }
@@ -369,13 +373,13 @@ impl MdpNode {
         Ok(Word::int(value))
     }
 
-    fn exec_one(
+    fn exec_one<P: NetPort + ?Sized>(
         &mut self,
         priority: Priority,
         instr: Instruction,
         ip: u32,
         now: u64,
-        net: &mut dyn NetPort,
+        net: &mut P,
     ) -> Step {
         let pi = priority.index();
         let base = self.config.timing.base;
@@ -514,23 +518,21 @@ impl MdpNode {
                 b,
                 end,
             } => self.exec_send(priority, mp, a, b, end, now, net),
-            Instruction::Suspend => {
-                match priority {
-                    Priority::Background => {
-                        self.end_thread(priority);
-                        Step::End { cost: base }
-                    }
-                    Priority::P0 | Priority::P1 => {
-                        let q = if priority == Priority::P0 { 0 } else { 1 };
-                        if self.msg_ctx[q].is_some() && !self.queues[q].head_complete() {
-                            self.stats.arrival_stalls += 1;
-                            return Step::Retry { cost: 1 };
-                        }
-                        self.end_thread(priority);
-                        Step::End { cost: base }
-                    }
+            Instruction::Suspend => match priority {
+                Priority::Background => {
+                    self.end_thread(priority);
+                    Step::End { cost: base }
                 }
-            }
+                Priority::P0 | Priority::P1 => {
+                    let q = if priority == Priority::P0 { 0 } else { 1 };
+                    if self.msg_ctx[q].is_some() && !self.queues[q].head_complete() {
+                        self.stats.arrival_stalls += 1;
+                        return Step::Retry { cost: 1 };
+                    }
+                    self.end_thread(priority);
+                    Step::End { cost: base }
+                }
+            },
             Instruction::Resume => {
                 let frame = self.staging[pi];
                 let staged_ip = frame[8];
@@ -634,7 +636,7 @@ impl MdpNode {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_send(
+    fn exec_send<P: NetPort + ?Sized>(
         &mut self,
         priority: Priority,
         mp: MsgPriority,
@@ -642,7 +644,7 @@ impl MdpNode {
         b: Option<Src>,
         end: bool,
         now: u64,
-        net: &mut dyn NetPort,
+        net: &mut P,
     ) -> Step {
         let pi = priority.index();
         let base = self.config.timing.base;
@@ -653,8 +655,7 @@ impl MdpNode {
             let operands = [Some(a), b];
             let count = if b.is_some() { 2 } else { 1 };
             for src in operands.iter().take(count).flatten() {
-                let word = match self.read_src(priority, *src, ReadLevel::Move, &mut extra, now)
-                {
+                let word = match self.read_src(priority, *src, ReadLevel::Move, &mut extra, now) {
                     Ok(v) => v,
                     Err(Hazard::Stall) => return Step::Retry { cost: 1 },
                     Err(Hazard::Fault(kind, val, addr)) => {

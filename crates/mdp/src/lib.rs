@@ -41,7 +41,7 @@ mod xlate;
 
 pub use config::{MdpConfig, TimingConfig, QUEUE_VBASE, STAGING_FRAME, STAGING_VBASE};
 pub use memory::Memory;
-pub use node::{InjectAck, MdpNode, NetPort, NodeError};
+pub use node::{InjectAck, MdpNode, NetPort, NodeError, TickOutcome};
 pub use queue::MsgQueue;
 pub use stats::{HandlerStats, NodeStats};
 pub use xlate::XlateCache;

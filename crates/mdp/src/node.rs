@@ -7,7 +7,7 @@ use crate::queue::MsgQueue;
 use crate::stats::NodeStats;
 use crate::xlate::XlateCache;
 use jm_asm::Program;
-use jm_isa::consts::{EMEM_BASE, FaultKind};
+use jm_isa::consts::{FaultKind, EMEM_BASE};
 use jm_isa::instr::{MsgPriority, StatClass};
 use jm_isa::node::{MeshDims, NodeId};
 use jm_isa::reg::{Priority, RegFile};
@@ -38,6 +38,31 @@ pub enum InjectAck {
 pub trait NetPort {
     /// Atomically offers a complete message: route word plus payload.
     fn commit(&mut self, priority: MsgPriority, words: &[Word]) -> InjectAck;
+}
+
+/// What a [`MdpNode::tick`] did, telling the machine's scheduler when (and
+/// whether) the node next needs a tick. A node that reports [`Idle`] or
+/// [`Stopped`] makes no progress until something external arrives — a
+/// network delivery or a host injection — so an event-driven engine may
+/// park it without changing any observable behavior.
+///
+/// [`Idle`]: TickOutcome::Idle
+/// [`Stopped`]: TickOutcome::Stopped
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// The node did (or is doing) work and next makes progress at `until`.
+    /// Ticks before `until` are no-ops.
+    Busy {
+        /// First cycle at which the node can do further work.
+        until: u64,
+    },
+    /// No runnable thread and no queued message: the node burned one idle
+    /// cycle (already attributed to [`StatClass::Idle`]) and every
+    /// subsequent cycle is idle too until a delivery arrives. Parked
+    /// engines owe those cycles via [`MdpNode::credit_idle`].
+    Idle,
+    /// The node halted or stopped on an error; it will never tick again.
+    Stopped,
 }
 
 /// A fatal per-node condition. Real hardware would wedge or vector into a
@@ -196,7 +221,11 @@ impl MdpNode {
             }
         };
         let mut regs = RegFile::new();
-        let bg_entry = if start_background { program.entry } else { None };
+        let bg_entry = if start_background {
+            program.entry
+        } else {
+            None
+        };
         let bg_runnable = bg_entry.is_some();
         if let Some(entry) = bg_entry {
             regs.bank_mut(Priority::Background).ip = entry;
@@ -303,6 +332,12 @@ impl MdpNode {
         self.queues[priority.index()].high_water()
     }
 
+    /// Deliveries refused because the queue was full (each refusal leaves
+    /// the word parked in the network's ejection FIFO — backpressure).
+    pub fn queue_refusals(&self, priority: MsgPriority) -> u64 {
+        self.queues[priority.index()].refusals()
+    }
+
     fn schedule(&self) -> Decision {
         if self.error.is_some() || self.halted {
             return Decision::Stopped;
@@ -325,20 +360,53 @@ impl MdpNode {
         Decision::Idle
     }
 
-    /// Advances the node at cycle `now`. Call once per machine cycle.
-    pub fn tick(&mut self, now: u64, net: &mut dyn NetPort) {
+    /// Advances the node at cycle `now`. A cycle-scanning engine calls this
+    /// once per machine cycle; an event-driven engine calls it only at the
+    /// cycles the returned [`TickOutcome`] names (plus wake-ups on
+    /// deliveries). Generic over the port so monomorphized engines inline
+    /// the injection path.
+    pub fn tick<P: NetPort + ?Sized>(&mut self, now: u64, net: &mut P) -> TickOutcome {
         if now < self.busy_until {
-            return;
+            return TickOutcome::Busy {
+                until: self.busy_until,
+            };
         }
         match self.schedule() {
-            Decision::Stopped => {}
+            Decision::Stopped => TickOutcome::Stopped,
             Decision::Idle => {
                 self.stats.add_cycles(StatClass::Idle, 1);
                 self.busy_until = now + 1;
+                TickOutcome::Idle
             }
-            Decision::Dispatch(mp) => self.dispatch(mp, now),
-            Decision::Exec(priority) => self.exec_slice(priority, now, net),
+            Decision::Dispatch(mp) => {
+                self.dispatch(mp, now);
+                self.outcome()
+            }
+            Decision::Exec(priority) => {
+                self.exec_slice(priority, now, net);
+                self.outcome()
+            }
         }
+    }
+
+    /// Outcome after a dispatch or execution step: stopped if it raised a
+    /// fatal error, otherwise busy until `busy_until`.
+    fn outcome(&self) -> TickOutcome {
+        if self.error.is_some() || self.halted {
+            TickOutcome::Stopped
+        } else {
+            TickOutcome::Busy {
+                until: self.busy_until,
+            }
+        }
+    }
+
+    /// Attributes `cycles` idle cycles in one batch. Event-driven engines
+    /// park a node after an [`TickOutcome::Idle`] tick instead of ticking it
+    /// every cycle; on wake-up they repay the skipped cycles here so the
+    /// per-class cycle accounting matches a cycle-scanning engine exactly.
+    pub fn credit_idle(&mut self, cycles: u64) {
+        self.stats.add_cycles(StatClass::Idle, cycles);
     }
 
     fn dispatch(&mut self, mp: MsgPriority, now: u64) {

@@ -38,7 +38,7 @@ impl HandlerStats {
 }
 
 /// Counters for one node.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Cycles attributed to each [`StatClass`].
     pub cycles: [u64; 7],

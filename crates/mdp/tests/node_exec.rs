@@ -195,7 +195,10 @@ fn priority_one_preempts_priority_zero() {
             p0_done_at = Some(now);
         }
     }
-    let (p1_at, p0_at) = (p1_done_at.expect("p1 ran"), p0_done_at.expect("p0 finished"));
+    let (p1_at, p0_at) = (
+        p1_done_at.expect("p1 ran"),
+        p0_done_at.expect("p0 finished"),
+    );
     assert!(p1_at < p0_at, "P1 at {p1_at}, P0 at {p0_at}");
     assert!(p1_at < 60, "P1 was not prompt: {p1_at}");
 }
@@ -507,7 +510,7 @@ fn wtag_builds_route_words_in_software() {
     run(&mut node, &mut net, 200);
     let route = node.read_mem(out.base);
     assert_eq!(route.tag(), Tag::Route);
-    assert_eq!(route.bits(), 1 | (0 << 5) | (1 << 10));
+    assert_eq!(route.bits(), 1 | (1 << 10));
     assert!(node.stats().class_cycles(StatClass::NnrCalc) > 10);
 }
 

@@ -1,0 +1,151 @@
+//! A fixed-capacity bitset used for the simulator's active-work tracking
+//! (active routers, nodes with pending deliveries). Insertion and removal
+//! are O(1); iteration is in ascending index order, which the engines rely
+//! on for cycle-exact equivalence with naive full scans.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+#[derive(Debug, Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Number of indices currently in the set.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `index` is in the set.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Inserts `index`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        let word = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        self.count += fresh as usize;
+        fresh
+    }
+
+    /// Removes `index`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        let word = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        self.count -= present as usize;
+        present
+    }
+
+    /// Removes every index.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Iterates the set in ascending index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`BitSet`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(200);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert!(!s.insert(64), "double insert reports not-fresh");
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(63));
+        assert!(!s.contains(62));
+        assert!(s.remove(63));
+        assert!(!s.remove(63), "double remove reports absent");
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iterates_in_ascending_order() {
+        let mut s = BitSet::new(300);
+        for i in [257, 3, 64, 65, 0, 128] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 128, 257]);
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = BitSet::new(100);
+        s.insert(5);
+        s.insert(99);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn empty_capacity_is_fine() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

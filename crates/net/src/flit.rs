@@ -39,6 +39,7 @@ impl Flit {
     ///
     /// `is_route` marks the route word (stripped at ejection); `tail_word`
     /// marks the message's final word.
+    #[allow(clippy::too_many_arguments)]
     pub fn pair_for_word(
         dest: Coord,
         word: Word,
@@ -78,16 +79,8 @@ mod tests {
     #[test]
     fn route_words_carry_no_payload() {
         let dest = Coord::new(1, 2, 3);
-        let [a, b] = Flit::pair_for_word(
-            dest,
-            Word::int(5),
-            true,
-            true,
-            false,
-            MsgPriority::P0,
-            0,
-            0,
-        );
+        let [a, b] =
+            Flit::pair_for_word(dest, Word::int(5), true, true, false, MsgPriority::P0, 0, 0);
         assert!(a.head && !b.head);
         assert_eq!(a.payload, None);
         assert_eq!(b.payload, None);

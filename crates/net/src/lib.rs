@@ -45,12 +45,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod bitset;
 mod config;
 mod flit;
 mod network;
 mod router;
 mod stats;
 
+pub use bitset::BitSet;
 pub use config::NetConfig;
 pub use flit::Flit;
 pub use network::{InjectResult, Network};

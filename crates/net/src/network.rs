@@ -1,5 +1,6 @@
 //! The whole-mesh network engine.
 
+use crate::bitset::BitSet;
 use crate::config::NetConfig;
 use crate::flit::Flit;
 use crate::router::{ecube_route, Router, IN_INJECT, OUT_EJECT};
@@ -36,15 +37,25 @@ pub struct Network {
     bisect_mid: u8,
     /// Flits currently inside buffers (not yet ejected).
     in_flight: u64,
+    /// Routers with `occupancy > 0` — the only ones `step` must visit.
+    active: BitSet,
+    /// Routers holding undelivered ejected words (either vnet).
+    eject_pending: BitSet,
+    /// Scratch buffer for the active-set snapshot taken by `step`.
+    scratch: Vec<u32>,
 }
 
 impl Network {
     /// Creates an idle network.
     pub fn new(config: NetConfig) -> Network {
         let dims = config.dims;
-        let routers = dims.iter_nodes().map(|id| Router::new(dims.coord(id))).collect();
+        let routers = dims
+            .iter_nodes()
+            .map(|id| Router::new(dims.coord(id)))
+            .collect();
         let extents = [dims.x, dims.y, dims.z];
         let bisect_dim = (0..3).max_by_key(|&d| extents[d]).unwrap();
+        let nodes = dims.nodes() as usize;
         Network {
             config,
             routers,
@@ -53,6 +64,9 @@ impl Network {
             bisect_dim,
             bisect_mid: extents[bisect_dim] / 2,
             in_flight: 0,
+            active: BitSet::new(nodes),
+            eject_pending: BitSet::new(nodes),
+            scratch: Vec::new(),
         }
     }
 
@@ -77,13 +91,33 @@ impl Network {
         self.in_flight
     }
 
-    /// Whether the network holds no flits and no undelivered words.
+    /// Whether the network holds no flits and no undelivered words. O(1):
+    /// both quantities are tracked incrementally.
     pub fn is_idle(&self) -> bool {
-        self.in_flight == 0
-            && self
-                .routers
-                .iter()
-                .all(|r| r.ejected[0].is_empty() && r.ejected[1].is_empty())
+        self.in_flight == 0 && self.eject_pending.is_empty()
+    }
+
+    /// Nodes currently holding undelivered ejected words, in ascending id
+    /// order. This is the engine's delivery notification: after a `step`,
+    /// only these nodes can have words to pump (the set also retains nodes
+    /// whose earlier deliveries have not been fully consumed, e.g. under
+    /// queue backpressure).
+    pub fn pending_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.eject_pending.iter().map(|i| NodeId(i as u32))
+    }
+
+    /// Advances the cycle counter to `cycle` without simulating the
+    /// intervening cycles. Only legal while no flits are buffered
+    /// (`in_flight == 0`): an empty network's step is a pure cycle-counter
+    /// increment, so skipping is exactly equivalent to stepping. Undelivered
+    /// ejected words may remain — they are cycle-independent state.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if flits are in flight.
+    pub fn skip_to(&mut self, cycle: u64) {
+        debug_assert_eq!(self.in_flight, 0, "skip_to with flits in flight");
+        self.cycle = self.cycle.max(cycle);
     }
 
     /// Offers one word to a node's injection port.
@@ -143,6 +177,7 @@ impl Network {
         }
         router.occupancy += 2;
         self.in_flight += 2;
+        self.active.insert(node.index());
         InjectResult::Accepted
     }
 
@@ -198,6 +233,7 @@ impl Network {
         }
         router.occupancy += needed as u32;
         self.in_flight += needed as u64;
+        self.active.insert(node.index());
         InjectResult::Accepted
     }
 
@@ -210,7 +246,12 @@ impl Network {
 
     /// Pops the next delivered payload word for a node.
     pub fn pop_delivered(&mut self, node: NodeId, priority: MsgPriority) -> Option<Word> {
-        self.routers[node.index()].ejected[priority.index()].pop_front()
+        let router = &mut self.routers[node.index()];
+        let word = router.ejected[priority.index()].pop_front();
+        if word.is_some() && router.ejected[0].is_empty() && router.ejected[1].is_empty() {
+            self.eject_pending.remove(node.index());
+        }
+        word
     }
 
     /// Number of delivered words waiting at a node.
@@ -255,12 +296,30 @@ impl Network {
     /// Advances the network by one cycle: every physical channel moves at
     /// most one flit, priority-1 traffic first, input ports arbitrated in
     /// fixed order with injection last.
+    ///
+    /// Only routers in the active set (buffered flits) are visited; an empty
+    /// network steps in O(1). This is cycle-exact with a full ascending scan
+    /// of all routers: inactive routers have nothing to move, and a router
+    /// activated mid-step only holds flits with `ready_cycle == cycle + 1`,
+    /// which the scan would skip anyway.
     pub fn step(&mut self) {
+        if self.in_flight == 0 {
+            self.cycle += 1;
+            return;
+        }
         let cycle = self.cycle;
         let flit_buffer = self.config.flit_buffer;
         let eject_fifo = self.config.eject_fifo;
-        for n in 0..self.routers.len() {
+        // Snapshot the active set: flit hand-offs during the loop may
+        // activate routers (harmless to visit or not, see above), and a
+        // drained router leaves the set for future cycles.
+        let mut snapshot = std::mem::take(&mut self.scratch);
+        snapshot.clear();
+        snapshot.extend(self.active.iter().map(|i| i as u32));
+        for &n in &snapshot {
+            let n = n as usize;
             if self.routers[n].is_idle() {
+                self.active.remove(n);
                 continue;
             }
             let here = self.routers[n].coord;
@@ -268,6 +327,7 @@ impl Network {
             let mut out_used = [false; 7];
             for &priority in [MsgPriority::P1, MsgPriority::P0].iter() {
                 let vnet = priority.index();
+                #[allow(clippy::needless_range_loop)]
                 for in_port in 0..7 {
                     if in_used[in_port] {
                         continue;
@@ -321,6 +381,7 @@ impl Network {
                         self.in_flight -= 1;
                         if let Some(word) = flit.payload {
                             self.routers[n].ejected[vnet].push_back(word);
+                            self.eject_pending.insert(n);
                             self.stats.delivered_words += 1;
                         }
                         if flit.tail {
@@ -339,10 +400,15 @@ impl Network {
                         moved.ready_cycle = cycle + 1;
                         self.routers[m].inputs[vnet][out].push_back(moved);
                         self.routers[m].occupancy += 1;
+                        self.active.insert(m);
                     }
                 }
             }
+            if self.routers[n].is_idle() {
+                self.active.remove(n);
+            }
         }
+        self.scratch = snapshot;
         self.cycle += 1;
     }
 
@@ -374,7 +440,13 @@ mod tests {
 
     /// Injects a whole message, pumping the network on FIFO stalls the way
     /// the MDP retries after a send fault.
-    fn send_msg(net: &mut Network, from: NodeId, to: NodeId, priority: MsgPriority, words: &[Word]) {
+    fn send_msg(
+        net: &mut Network,
+        from: NodeId,
+        to: NodeId,
+        priority: MsgPriority,
+        words: &[Word],
+    ) {
         let dims = net.config().dims;
         let route = RouteWord::new(dims.coord(to)).to_word();
         let offer = |net: &mut Network, word: Word, end: bool| loop {
@@ -413,11 +485,7 @@ mod tests {
     #[test]
     fn delivers_payload_in_order() {
         let mut net = Network::new(NetConfig::new(MeshDims::new(4, 4, 4)));
-        let words = [
-            MsgHeader::new(10, 3).to_word(),
-            Word::int(1),
-            Word::int(2),
-        ];
+        let words = [MsgHeader::new(10, 3).to_word(), Word::int(1), Word::int(2)];
         send_msg(&mut net, NodeId(0), NodeId(63), MsgPriority::P0, &words);
         assert!(settle(&mut net, 200));
         assert_eq!(drain(&mut net, NodeId(63), MsgPriority::P0), words);
@@ -548,11 +616,21 @@ mod tests {
         // Fill P0 fifo.
         net.inject(NodeId(0), MsgPriority::P0, route, false);
         for k in 0..3 {
-            net.inject(NodeId(0), MsgPriority::P0, MsgHeader::new(1, 3).to_word(), k == 2);
+            net.inject(
+                NodeId(0),
+                MsgPriority::P0,
+                MsgHeader::new(1, 3).to_word(),
+                k == 2,
+            );
         }
         // One P1 message.
         net.inject(NodeId(0), MsgPriority::P1, route, false);
-        net.inject(NodeId(0), MsgPriority::P1, MsgHeader::new(2, 1).to_word(), true);
+        net.inject(
+            NodeId(0),
+            MsgPriority::P1,
+            MsgHeader::new(2, 1).to_word(),
+            true,
+        );
         let mut p1_cycle = None;
         for c in 0..200 {
             net.step();

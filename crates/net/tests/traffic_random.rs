@@ -1,13 +1,14 @@
-//! Property tests: under arbitrary random traffic the network never loses,
+//! Randomized tests: under arbitrary random traffic the network never loses,
 //! duplicates, corrupts, or interleaves message payloads.
+//!
+//! Formerly proptest-based; now driven by the in-tree seeded PRNG so the
+//! workspace tests run hermetically.
 
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::{MeshDims, NodeId, RouteWord};
 use jm_isa::word::{MsgHeader, Word};
 use jm_net::{InjectResult, NetConfig, Network};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jm_prng::Prng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -33,22 +34,15 @@ fn run_traffic(dims: MeshDims, msgs: Vec<Msg>) {
         // Encode (src, seq) into the header ip field (20 bits available).
         let ip = (m.src << 10) | m.seq;
         let header = MsgHeader::new(ip, m.body.len() as u32 + 1).to_word();
-        let mut words = vec![(route, false), (header, m.body.len() == 0)];
+        let mut words = vec![(route, false), (header, m.body.is_empty())];
         for (i, &v) in m.body.iter().enumerate() {
             words.push((Word::int(v), i + 1 == m.body.len()));
         }
-        // Empty bodies are not representable (header is the only payload
-        // word and must be the end).
-        if m.body.is_empty() {
-            words[1].1 = true;
-        }
-        merged
-            .entry((m.src, m.priority))
-            .or_default()
-            .extend(words);
+        merged.entry((m.src, m.priority)).or_default().extend(words);
         expected.insert((m.src, m.seq), m.body.clone());
     }
-    let mut streams: Vec<(NodeId, MsgPriority, Vec<(Word, bool)>)> = merged
+    type Stream = (NodeId, MsgPriority, Vec<(Word, bool)>);
+    let mut streams: Vec<Stream> = merged
         .into_iter()
         .map(|((src, pri), mut words)| {
             words.reverse();
@@ -115,24 +109,28 @@ fn run_traffic(dims: MeshDims, msgs: Vec<Msg>) {
     assert!(expected.is_empty(), "lost messages: {expected:?}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn random_traffic_is_conserved(seed in any::<u64>(), n_msgs in 1usize..60) {
-        let dims = MeshDims::new(3, 3, 2);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let nodes = dims.nodes();
+#[test]
+fn random_traffic_is_conserved() {
+    let dims = MeshDims::new(3, 3, 2);
+    let nodes = dims.nodes();
+    for case in 0..24u64 {
+        let mut rng = Prng::from_label("random_traffic", case);
+        let n_msgs = rng.range_usize(1, 60);
         let mut msgs = Vec::new();
         for seq in 0..n_msgs {
-            let src = rng.gen_range(0..nodes);
-            let dst = rng.gen_range(0..nodes);
-            let len = rng.gen_range(1..10usize);
-            let priority = if rng.gen_bool(0.25) { MsgPriority::P1 } else { MsgPriority::P0 };
+            let src = rng.range_u32(0, nodes);
+            let dst = rng.range_u32(0, nodes);
+            let len = rng.range_usize(1, 10);
+            let priority = if rng.chance(0.25) {
+                MsgPriority::P1
+            } else {
+                MsgPriority::P0
+            };
             msgs.push(Msg {
                 src,
                 dst,
                 priority,
-                body: (0..len).map(|_| rng.gen_range(-1000..1000)).collect(),
+                body: (0..len).map(|_| rng.range_i32(-1000, 1000)).collect(),
                 seq: seq as u32,
             });
         }

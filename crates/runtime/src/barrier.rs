@@ -68,7 +68,7 @@ pub fn install(b: &mut Builder) {
     b.addi(R1, R1, 1);
     b.mov(MemRef::disp(A0, 0), R1); // round++
     b.mov(MemRef::disp(A0, 1), 0); // wave = 0
-    // nwaves = log2(NNODES)
+                                   // nwaves = log2(NNODES)
     b.mov(R1, Special::NNodes);
     b.movi(R2, 0);
     b.label("bar_log");
@@ -199,8 +199,7 @@ mod tests {
             let rounds = 3;
             let p = barrier_program(rounds);
             let count = p.segment("count");
-            let mut m =
-                JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+            let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
             m.run_until_quiescent(2_000_000)
                 .unwrap_or_else(|e| panic!("{nodes} nodes: {e}"));
             for id in 0..nodes {

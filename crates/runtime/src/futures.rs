@@ -26,7 +26,7 @@ use jm_isa::operand::MemRef;
 use jm_isa::reg::{AReg::*, DReg::*};
 use jm_isa::tag::Tag;
 use jm_isa::word::{SegDesc, Word};
-use jm_mdp::{STAGING_VBASE, STAGING_FRAME};
+use jm_mdp::{STAGING_FRAME, STAGING_VBASE};
 
 /// cfut fault handler label (install as the [`jm_isa::FaultKind::CFutRead`]
 /// vector).

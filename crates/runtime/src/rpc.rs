@@ -130,7 +130,7 @@ mod tests {
         b.call(nnr::NID_TO_ROUTE);
         b.mark(StatClass::Compute);
         b.mov(R2, R0); // target route
-        // --- ping ---
+                       // --- ping ---
         b.load_seg(A1, FLAG);
         b.mov(MemRef::disp(A1, 0), 0);
         b.send(MsgPriority::P0, R2);

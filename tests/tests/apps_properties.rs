@@ -1,44 +1,54 @@
-//! Property-based integration tests: the applications produce correct
-//! answers for arbitrary inputs and machine sizes.
+//! Randomized integration tests: the applications produce correct answers
+//! for arbitrary inputs and machine sizes. Seeded with the in-tree PRNG so
+//! the suite runs hermetically and reproducibly.
 
 use jm_apps::{lcs, nqueens, radix, tsp};
-use proptest::prelude::*;
+use jm_prng::Prng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn radix_sorts_arbitrary_inputs(seed in any::<u64>(), nodes_pow in 0u32..4, keys_pow in 5u32..8) {
-        let nodes = 1u32 << nodes_pow;
-        let keys = 1u32 << keys_pow;
-        let cfg = radix::RadixConfig { keys, seed };
-        radix::run(nodes, &cfg, 500_000_000).unwrap();
+#[test]
+fn radix_sorts_arbitrary_inputs() {
+    for case in 0..4u64 {
+        let mut g = Prng::from_label("radix_sorts", case);
+        let nodes = 1u32 << g.range_u32(0, 4);
+        let keys = 1u32 << g.range_u32(5, 8);
+        let cfg = radix::RadixConfig {
+            keys,
+            seed: g.next_u64(),
+        };
+        radix::run(nodes, &cfg, 500_000_000)
+            .unwrap_or_else(|e| panic!("case {case} ({nodes} nodes, {keys} keys): {e}"));
     }
+}
 
-    #[test]
-    fn lcs_matches_reference_for_arbitrary_strings(seed in any::<u64>(),
-                                                   alphabet in 2u8..6,
-                                                   nodes_pow in 0u32..4) {
-        let nodes = 1u32 << nodes_pow;
+#[test]
+fn lcs_matches_reference_for_arbitrary_strings() {
+    for case in 0..4u64 {
+        let mut g = Prng::from_label("lcs_matches", case);
+        let nodes = 1u32 << g.range_u32(0, 4);
         let cfg = lcs::LcsConfig {
             a_len: 32.max(nodes),
             b_len: 48,
-            seed,
-            alphabet,
+            seed: g.next_u64(),
+            alphabet: g.range_u32(2, 6) as u8,
         };
-        lcs::run(nodes, &cfg, 500_000_000).unwrap();
+        lcs::run(nodes, &cfg, 500_000_000)
+            .unwrap_or_else(|e| panic!("case {case} ({nodes} nodes): {e}"));
     }
+}
 
-    #[test]
-    fn tsp_finds_the_optimum_for_arbitrary_matrices(seed in any::<u64>(), nodes_pow in 0u32..4) {
-        let nodes = 1u32 << nodes_pow;
+#[test]
+fn tsp_finds_the_optimum_for_arbitrary_matrices() {
+    for case in 0..4u64 {
+        let mut g = Prng::from_label("tsp_optimum", case);
+        let nodes = 1u32 << g.range_u32(0, 4);
         let cfg = tsp::TspConfig {
             cities: 6,
-            seed,
+            seed: g.next_u64(),
             task_depth: None,
             yield_every: 16,
         };
-        tsp::run(nodes, &cfg, 500_000_000).unwrap();
+        tsp::run(nodes, &cfg, 500_000_000)
+            .unwrap_or_else(|e| panic!("case {case} ({nodes} nodes): {e}"));
     }
 }
 

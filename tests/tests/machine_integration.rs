@@ -64,7 +64,10 @@ fn ring_circulation_conserves_messages() {
         let p = b.assemble().unwrap();
         let acc = p.segment("acc");
 
-        let mut m = JMachine::new(p, MachineConfig::with_dims(dims).start(StartPolicy::AllNodes));
+        let mut m = JMachine::new(
+            p,
+            MachineConfig::with_dims(dims).start(StartPolicy::AllNodes),
+        );
         m.run_until_quiescent(10_000_000)
             .unwrap_or_else(|e| panic!("{dims}: {e}"));
 
@@ -92,7 +95,10 @@ fn hotspot_backpressure_recovers() {
     b.label("main");
     b.movi(R2, PER_NODE);
     b.label("loop");
-    b.send(MsgPriority::P0, jm_isa::RouteWord::new(jm_isa::Coord::new(0, 0, 0)).to_word());
+    b.send(
+        MsgPriority::P0,
+        jm_isa::RouteWord::new(jm_isa::Coord::new(0, 0, 0)).to_word(),
+    );
     b.send2(MsgPriority::P0, hdr("hit", 3), R2);
     b.sende(MsgPriority::P0, Special::Nid);
     b.subi(R2, R2, 1);
@@ -114,10 +120,7 @@ fn hotspot_backpressure_recovers() {
         MachineConfig::with_dims(MeshDims::new(3, 3, 3)).start(StartPolicy::AllNodes),
     );
     m.run_until_quiescent(50_000_000).unwrap();
-    assert_eq!(
-        m.read_word(NodeId(0), hits.base).as_i32(),
-        nodes * PER_NODE
-    );
+    assert_eq!(m.read_word(NodeId(0), hits.base).as_i32(), nodes * PER_NODE);
     let stats = m.stats();
     assert!(
         stats.nodes.send_faults > 0,
@@ -137,11 +140,17 @@ fn priority_one_overtakes_under_load() {
     b.bz(R0, "main_done");
     b.movi(R2, 30);
     b.label("flood");
-    b.send(MsgPriority::P0, jm_isa::RouteWord::new(jm_isa::Coord::new(0, 0, 0)).to_word());
+    b.send(
+        MsgPriority::P0,
+        jm_isa::RouteWord::new(jm_isa::Coord::new(0, 0, 0)).to_word(),
+    );
     b.sende(MsgPriority::P0, hdr("p0_msg", 1));
     b.subi(R2, R2, 1);
     b.bnz(R2, "flood");
-    b.send(MsgPriority::P1, jm_isa::RouteWord::new(jm_isa::Coord::new(0, 0, 0)).to_word());
+    b.send(
+        MsgPriority::P1,
+        jm_isa::RouteWord::new(jm_isa::Coord::new(0, 0, 0)).to_word(),
+    );
     b.sende(MsgPriority::P1, hdr("p1_msg", 1));
     b.label("main_done");
     b.suspend();
