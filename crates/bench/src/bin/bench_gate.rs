@@ -1,0 +1,165 @@
+//! Benchmark regression gate: compares a fresh `engine_perf` run against
+//! the committed baseline.
+//!
+//! Usage: `bench_gate --baseline PATH --current PATH [--tolerance FRAC]`
+//!
+//! Both inputs are `BENCH_engine.json` documents. For every workload the
+//! gate compares the *speedup* (event engine over naive engine) rather
+//! than raw cycles/sec: absolute throughput varies with the host CI
+//! machine, but the engines run in the same process on the same host, so
+//! their ratio is stable. The gate fails when a workload's speedup drops
+//! more than `tolerance` (default 0.30 = 30%) below the baseline, or when
+//! a baseline workload disappears.
+
+use std::process::ExitCode;
+
+/// One workload's numbers pulled from a `BENCH_engine.json` document.
+#[derive(Debug, Clone, PartialEq)]
+struct Workload {
+    name: String,
+    naive_cps: f64,
+    event_cps: f64,
+    speedup: f64,
+}
+
+/// Extracts the string value following `"key":` at/after `from`.
+fn string_field(doc: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let pat = format!("\"{key}\"");
+    let k = doc[from..].find(&pat)? + from + pat.len();
+    let open = doc[k..].find('"')? + k + 1;
+    let close = doc[open..].find('"')? + open;
+    Some((doc[open..close].to_string(), close))
+}
+
+/// Extracts the numeric value following `"key":` at/after `from`.
+fn number_field(doc: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let pat = format!("\"{key}\"");
+    let k = doc[from..].find(&pat)? + from + pat.len();
+    let colon = doc[k..].find(':')? + k + 1;
+    let rest = &doc[colon..];
+    let start = colon + rest.len() - rest.trim_start().len();
+    let end = doc[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))?
+        + start;
+    doc[start..end].parse().ok().map(|v| (v, end))
+}
+
+/// Parses every workload entry out of a `BENCH_engine.json` document.
+/// Hand-rolled to match the hand-rolled writer in `engine_perf` — the
+/// workspace deliberately has no JSON dependency.
+fn parse(doc: &str) -> Vec<Workload> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some((name, next)) = string_field(doc, "name", at) {
+        at = next;
+        let Some((naive_cps, next)) = number_field(doc, "cycles_per_sec", at) else {
+            break;
+        };
+        at = next;
+        let Some((event_cps, next)) = number_field(doc, "cycles_per_sec", at) else {
+            break;
+        };
+        at = next;
+        let Some((speedup, next)) = number_field(doc, "speedup", at) else {
+            break;
+        };
+        at = next;
+        out.push(Workload {
+            name,
+            naive_cps,
+            event_cps,
+            speedup,
+        });
+    }
+    out
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = arg(&args, "--baseline").unwrap_or_else(|| "BENCH_engine.json".into());
+    let current_path = arg(&args, "--current").expect("--current PATH is required");
+    let tolerance: f64 = arg(&args, "--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a fraction"))
+        .unwrap_or(0.30);
+
+    let baseline = parse(&std::fs::read_to_string(&baseline_path).expect("read baseline"));
+    let current = parse(&std::fs::read_to_string(&current_path).expect("read current"));
+    assert!(!baseline.is_empty(), "no workloads in {baseline_path}");
+
+    let mut failed = false;
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|w| w.name == base.name) else {
+            eprintln!("[FAIL] {}: missing from {current_path}", base.name);
+            failed = true;
+            continue;
+        };
+        let floor = base.speedup * (1.0 - tolerance);
+        let ok = cur.speedup >= floor;
+        println!(
+            "[{}] {:<28} speedup {:.2}x (baseline {:.2}x, floor {:.2}x)  \
+             naive {:.0} cyc/s  event {:.0} cyc/s",
+            if ok { "ok" } else { "FAIL" },
+            cur.name,
+            cur.speedup,
+            base.speedup,
+            floor,
+            cur.naive_cps,
+            cur.event_cps,
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "benchmark regression gate FAILED (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("benchmark gate passed ({} workloads)", baseline.len());
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "engine",
+  "workloads": [
+    {
+      "name": "ring64_idle_dominated",
+      "cycles": 100,
+      "naive": { "wall_secs": 1.0, "cycles_per_sec": 100 },
+      "event": { "wall_secs": 0.1, "cycles_per_sec": 1000 },
+      "speedup": 10.00
+    },
+    {
+      "name": "exchange64_load_dominated",
+      "cycles": 100,
+      "naive": { "wall_secs": 1.0, "cycles_per_sec": 500 },
+      "event": { "wall_secs": 1.0, "cycles_per_sec": 450 },
+      "speedup": 0.90
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_both_workloads() {
+        let ws = parse(DOC);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].name, "ring64_idle_dominated");
+        assert_eq!(ws[0].naive_cps, 100.0);
+        assert_eq!(ws[0].event_cps, 1000.0);
+        assert_eq!(ws[0].speedup, 10.0);
+        assert_eq!(ws[1].name, "exchange64_load_dominated");
+        assert_eq!(ws[1].speedup, 0.90);
+    }
+}

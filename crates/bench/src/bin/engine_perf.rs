@@ -2,7 +2,13 @@
 //! wall clock) of the two machine engines on contrasting workloads, and
 //! writes `BENCH_engine.json`.
 //!
-//! Usage: `engine_perf [--out PATH] [--quick]`
+//! Usage: `engine_perf [--out PATH] [--quick] [--trace]`
+//!
+//! `--trace` additionally runs the ring workload on the event engine with
+//! lifecycle tracing enabled and reports the tracing overhead (the
+//! disabled path is a single pointer test, so the untraced numbers are
+//! unaffected either way); the traced run's deterministic trace hash is
+//! included in the JSON.
 //!
 //! Two workloads bracket the design space:
 //!
@@ -94,6 +100,27 @@ fn run_to_quiescence(program: Program, nodes: u32, engine: Engine, max: u64) -> 
     }
 }
 
+/// Runs `program` to quiescence on the event engine with lifecycle
+/// tracing enabled; returns the measurement and the trace hash.
+fn run_traced(program: Program, nodes: u32, max: u64) -> (Measurement, u64) {
+    let mut m = JMachine::new(
+        program,
+        MachineConfig::new(nodes)
+            .start(StartPolicy::AllNodes)
+            .engine(Engine::Event)
+            .traced(),
+    );
+    let (wall, cycles) = time_once(|| m.run_until_quiescent(max).expect("workload quiesces"));
+    let trace = m.take_trace().expect("tracing was enabled");
+    (
+        Measurement {
+            wall_secs: wall.as_secs_f64(),
+            cycles,
+        },
+        jm_trace::hash(&trace),
+    )
+}
+
 /// Steps `program` for a fixed number of cycles under `engine`.
 fn run_fixed(program: Program, nodes: u32, engine: Engine, cycles: u64) -> Measurement {
     let mut m = JMachine::new(
@@ -131,6 +158,7 @@ fn json_workload(out: &mut String, name: &str, naive: &Measurement, event: &Meas
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let trace = args.iter().any(|a| a == "--trace");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -176,7 +204,27 @@ fn main() {
     );
     // Strip the trailing comma to keep the JSON valid.
     let trimmed = out.trim_end_matches(",\n").to_string();
-    let body = format!("{trimmed}\n  ]\n}}\n");
+    let mut body = format!("{trimmed}\n  ]");
+    if trace {
+        let (traced, trace_hash) = run_traced(ring_program(ring_rounds), ring_nodes, 500_000_000);
+        assert_eq!(
+            traced.cycles, ring_event.cycles,
+            "tracing must not change the quiescence cycle"
+        );
+        let overhead = ring_event.cycles_per_sec() / traced.cycles_per_sec() - 1.0;
+        println!(
+            "ring64_traced            event {:>12.0} cyc/s   tracing overhead {:.0}%   trace hash {trace_hash:016x}",
+            traced.cycles_per_sec(),
+            overhead * 100.0,
+        );
+        let _ = write!(
+            body,
+            ",\n  \"tracing\": {{ \"workload\": \"ring64_idle_dominated\", \"cycles_per_sec\": {:.0}, \"overhead_vs_untraced\": {:.3}, \"trace_hash\": \"{trace_hash:016x}\" }}",
+            traced.cycles_per_sec(),
+            overhead,
+        );
+    }
+    let body = format!("{body}\n}}\n");
     std::fs::write(&out_path, &body).expect("write BENCH_engine.json");
     println!("wrote {out_path}");
 

@@ -1,0 +1,105 @@
+//! Golden-statistics gate: regenerates the headline paper metrics and
+//! diffs them against the committed `tests/golden/stats.json`.
+//!
+//! Usage: `golden_stats [--check | --bless] [--path PATH]`
+//!
+//! The simulator is deterministic, so the golden metrics are exact: Figure
+//! 2's fitted slope and zero-distance intercept per curve, Table 1's
+//! one-way overhead, and Table 3's barrier cycles at 2/8/64 nodes. Any
+//! drift — an ISA-timing tweak, a router change, a queue-policy edit —
+//! shows up as a diff here long before it distorts a whole figure.
+//! `--bless` rewrites the golden file after an intentional change;
+//! `--check` (the default) fails with a field-by-field diff.
+
+use jm_bench::micro;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const DEFAULT_PATH: &str = "tests/golden/stats.json";
+const FIG2_NODES: u32 = 64;
+const BARRIER_SIZES: [u32; 3] = [2, 8, 64];
+const BARRIER_ROUNDS: u32 = 8;
+
+/// Regenerates the golden JSON document (exact, fixed-precision floats).
+fn generate() -> String {
+    let curves = micro::latency::measure(FIG2_NODES).expect("fig2");
+    let overhead = micro::overhead::measure().expect("table1");
+    let barrier = micro::barrier::measure(&BARRIER_SIZES, BARRIER_ROUNDS).expect("table3");
+
+    let mut out = String::from("{\n  \"golden\": \"stats\",\n");
+    let _ = writeln!(out, "  \"fig2_nodes\": {FIG2_NODES},");
+    out.push_str("  \"fig2\": [\n");
+    for (i, c) in curves.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"curve\": \"{}\", \"slope\": {:.4}, \"base\": {:.4} }}{}",
+            c.kind.name(),
+            c.slope(),
+            c.base(),
+            if i + 1 < curves.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"table1\": {{ \"cycles_per_msg\": {:.4}, \"cycles_per_byte\": {:.4} }},",
+        overhead.cycles_per_msg, overhead.cycles_per_byte
+    );
+    out.push_str("  \"table3\": [\n");
+    for (i, p) in barrier.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"nodes\": {}, \"cycles\": {:.4} }}{}",
+            p.nodes,
+            p.cycles,
+            if i + 1 < barrier.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let path = args
+        .iter()
+        .position(|a| a == "--path")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_PATH.to_string());
+
+    let fresh = generate();
+    if bless {
+        std::fs::write(&path, &fresh).expect("write golden stats");
+        println!("blessed {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}\nrun `golden_stats --bless` to create it");
+            return ExitCode::FAILURE;
+        }
+    };
+    if committed == fresh {
+        println!("golden stats match {path}");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("golden stats DIFFER from {path}:");
+    for (i, (want, got)) in committed.lines().zip(fresh.lines()).enumerate() {
+        if want != got {
+            eprintln!(
+                "  line {}:\n    committed: {want}\n    measured:  {got}",
+                i + 1
+            );
+        }
+    }
+    let (a, b) = (committed.lines().count(), fresh.lines().count());
+    if a != b {
+        eprintln!("  line counts differ: committed {a}, measured {b}");
+    }
+    eprintln!("if the change is intentional, re-bless with `golden_stats --bless`");
+    ExitCode::FAILURE
+}

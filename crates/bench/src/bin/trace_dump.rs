@@ -1,0 +1,53 @@
+//! Runs the traced gather workload and exports the lifecycle trace.
+//!
+//! Usage: `trace_dump [--nodes N] [--sample-every E]
+//!                    [--chrome PATH] [--summary PATH]`
+//!
+//! Writes a Chrome trace-event JSON (open in Perfetto / `chrome://tracing`)
+//! and a compact machine-readable summary (histograms plus a deterministic
+//! trace hash), and prints the per-mechanism latency breakdown table:
+//! `T = T_net + T_queue` per message, plus handler time and hop counts.
+
+use jm_bench::observe;
+use jm_isa::MeshDims;
+use jm_trace::{chrome_json, summary_json};
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nodes: u32 = arg(&args, "--nodes")
+        .map(|v| v.parse().expect("--nodes takes an integer"))
+        .unwrap_or(64);
+    let sample_every: u64 = arg(&args, "--sample-every")
+        .map(|v| v.parse().expect("--sample-every takes an integer"))
+        .unwrap_or(16);
+    let chrome_path = arg(&args, "--chrome").unwrap_or_else(|| "trace_chrome.json".to_string());
+    let summary_path = arg(&args, "--summary").unwrap_or_else(|| "trace_summary.json".to_string());
+
+    let dims = MeshDims::for_nodes(nodes);
+    let demo = observe::gather_demo(dims, sample_every).expect("gather workload quiesces");
+    let trace = &demo.trace;
+
+    println!(
+        "gather on {}x{}x{} ({} nodes): {} messages, {} events, {} samples\n",
+        dims.x,
+        dims.y,
+        dims.z,
+        trace.nodes,
+        trace.messages().len(),
+        trace.events.len(),
+        trace.samples.len(),
+    );
+    println!("{}", trace.breakdown_table());
+
+    std::fs::write(&chrome_path, chrome_json(trace)).expect("write chrome trace");
+    println!("wrote {chrome_path} (load in Perfetto or chrome://tracing)");
+    std::fs::write(&summary_path, summary_json(trace)).expect("write trace summary");
+    println!("wrote {summary_path}");
+}

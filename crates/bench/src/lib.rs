@@ -24,4 +24,5 @@ pub mod baselines;
 pub mod harness;
 pub mod macrob;
 pub mod micro;
+pub mod observe;
 pub mod table;

@@ -35,6 +35,51 @@ pub enum Engine {
     Naive,
 }
 
+/// Message-lifecycle tracing configuration.
+///
+/// Off by default: an untraced machine allocates no event buffers, and the
+/// per-event cost in every component is a single pointer test. Tracing is
+/// purely observational — enabling it changes no simulated behavior and no
+/// [`MachineStats`](crate::MachineStats) counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether lifecycle events are recorded.
+    pub enabled: bool,
+    /// Cycle interval between occupancy samples (queue depths, flits in
+    /// flight, active routers). Only read while `enabled`.
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            enabled: false,
+            sample_every: 64,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on, default sampling interval.
+    pub fn on() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Sets the sampling interval (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn sample_every(mut self, every: u64) -> TraceConfig {
+        assert!(every > 0, "sample interval must be positive");
+        self.sample_every = every;
+        self
+    }
+}
+
 /// Configuration of a whole machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -48,6 +93,8 @@ pub struct MachineConfig {
     pub start: StartPolicy,
     /// Simulation engine.
     pub engine: Engine,
+    /// Lifecycle tracing (off by default).
+    pub trace: TraceConfig,
 }
 
 impl MachineConfig {
@@ -65,6 +112,7 @@ impl MachineConfig {
             net: NetConfig::new(dims),
             start: StartPolicy::default(),
             engine: Engine::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -76,6 +124,7 @@ impl MachineConfig {
             net: NetConfig::new(dims),
             start: StartPolicy::default(),
             engine: Engine::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -99,6 +148,18 @@ impl MachineConfig {
     /// Sets the simulation engine (builder style).
     pub fn engine(mut self, engine: Engine) -> MachineConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the tracing configuration (builder style).
+    pub fn trace(mut self, trace: TraceConfig) -> MachineConfig {
+        self.trace = trace;
+        self
+    }
+
+    /// Enables tracing with default settings (builder style).
+    pub fn traced(mut self) -> MachineConfig {
+        self.trace = TraceConfig::on();
         self
     }
 

@@ -42,6 +42,7 @@ mod config;
 mod machine;
 mod stats;
 
-pub use config::{Engine, MachineConfig, StartPolicy};
+pub use config::{Engine, MachineConfig, StartPolicy, TraceConfig};
+pub use jm_trace::{MachineTrace, MsgTrace, SamplePoint};
 pub use machine::{JMachine, MachineError};
 pub use stats::MachineStats;

@@ -15,8 +15,10 @@ use jm_isa::consts::FaultKind;
 use jm_isa::instr::{MsgPriority, StatClass};
 use jm_isa::node::NodeId;
 use jm_isa::word::{MsgHeader, Word};
+use jm_isa::TraceId;
 use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError, TickOutcome};
 use jm_net::{InjectResult, Network};
+use jm_trace::{MachineTrace, SamplePoint};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -186,6 +188,8 @@ pub struct JMachine {
     net: Network,
     cycle: u64,
     sched: EventSched,
+    /// Periodic occupancy samples (tracing only).
+    samples: Vec<SamplePoint>,
 }
 
 impl fmt::Debug for JMachine {
@@ -207,7 +211,7 @@ impl JMachine {
     pub fn new(program: Program, config: MachineConfig) -> JMachine {
         program.validate().expect("invalid program image");
         let program = Arc::new(program);
-        let nodes = config
+        let mut nodes = config
             .dims
             .iter_nodes()
             .map(|id| {
@@ -219,14 +223,22 @@ impl JMachine {
                 MdpNode::new(id, config.dims, Arc::clone(&program), config.mdp, start)
             })
             .collect::<Vec<_>>();
+        let mut net = Network::new(config.net);
+        if config.trace.enabled {
+            net.set_tracing(true);
+            for node in &mut nodes {
+                node.set_tracing(true);
+            }
+        }
         let sched = EventSched::new(&nodes);
         JMachine {
             program,
             config,
             nodes,
-            net: Network::new(config.net),
+            net,
             cycle: 0,
             sched,
+            samples: Vec::new(),
         }
     }
 
@@ -301,10 +313,18 @@ impl JMachine {
     ) {
         let ip = self.program.handler(handler);
         let header = MsgHeader::new(ip, args.len() as u32 + 1).to_word();
+        let cycle = self.cycle;
         let target = &mut self.nodes[node.index()];
-        assert!(target.deliver(priority, header), "host delivery overflow");
+        // Host deliveries bypass the network and carry no trace id.
+        assert!(
+            target.deliver_traced(priority, header, TraceId::NONE, cycle),
+            "host delivery overflow"
+        );
         for &w in args {
-            assert!(target.deliver(priority, w), "host delivery overflow");
+            assert!(
+                target.deliver_traced(priority, w, TraceId::NONE, cycle),
+                "host delivery overflow"
+            );
         }
         if self.config.engine == Engine::Event {
             self.sched.wake(target, self.cycle);
@@ -344,6 +364,22 @@ impl JMachine {
             Engine::Naive => self.step_naive(),
             Engine::Event => self.step_event(),
         }
+        if self.config.trace.enabled && self.cycle.is_multiple_of(self.config.trace.sample_every) {
+            self.record_sample();
+        }
+    }
+
+    /// Appends one occupancy sample (tracing only). Pure observation: reads
+    /// counters every engine already maintains.
+    fn record_sample(&mut self) {
+        let queued_words: u64 = self.nodes.iter().map(|n| n.queued_words() as u64).sum();
+        self.samples.push(SamplePoint {
+            cycle: self.cycle,
+            queued_words,
+            in_flight: self.net.in_flight(),
+            active_routers: self.net.active_routers(),
+            busy_nodes: self.busy_nodes(),
+        });
     }
 
     /// Reference engine: pump, tick, and scan everything, every cycle.
@@ -354,8 +390,8 @@ impl JMachine {
         for node in &mut self.nodes {
             let id = node.id();
             for priority in MsgPriority::ALL {
-                while let Some(word) = self.net.delivered_front(id, priority) {
-                    if node.deliver(priority, word) {
+                while let Some((word, trace)) = self.net.delivered_front_traced(id, priority) {
+                    if node.deliver_traced(priority, word, trace, now) {
                         self.net.pop_delivered(id, priority);
                     } else {
                         break; // queue full: backpressure
@@ -394,8 +430,8 @@ impl JMachine {
             let node = &mut self.nodes[id.index()];
             let mut delivered = false;
             for priority in MsgPriority::ALL {
-                while let Some(word) = self.net.delivered_front(id, priority) {
-                    if node.deliver(priority, word) {
+                while let Some((word, trace)) = self.net.delivered_front_traced(id, priority) {
+                    if node.deliver_traced(priority, word, trace, now) {
                         self.net.pop_delivered(id, priority);
                         delivered = true;
                     } else {
@@ -574,6 +610,27 @@ impl JMachine {
             nodes,
             net: self.net.stats().clone(),
         }
+    }
+
+    /// Collects the machine's lifecycle trace: every component's event
+    /// buffer merged into one deterministically-ordered [`MachineTrace`],
+    /// plus the periodic occupancy samples. Returns `None` when the machine
+    /// was built with tracing disabled. Draining is destructive — buffers
+    /// restart empty, so a second call covers only cycles simulated since.
+    pub fn take_trace(&mut self) -> Option<MachineTrace> {
+        if !self.config.trace.enabled {
+            return None;
+        }
+        let mut sources = Vec::with_capacity(self.nodes.len() + 1);
+        sources.push(self.net.take_trace_events());
+        for node in &mut self.nodes {
+            sources.push(node.take_trace_events());
+        }
+        Some(MachineTrace::assemble(
+            sources,
+            std::mem::take(&mut self.samples),
+            self.node_count(),
+        ))
     }
 }
 

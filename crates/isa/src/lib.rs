@@ -47,6 +47,7 @@ pub mod node;
 pub mod operand;
 pub mod reg;
 pub mod tag;
+pub mod traceid;
 pub mod word;
 
 pub use consts::FaultKind;
@@ -55,4 +56,5 @@ pub use node::{Coord, MeshDims, NodeId, RouteWord};
 pub use operand::{Dst, MemRef, Special, Src};
 pub use reg::{AReg, DReg, Priority, RegBank, RegFile};
 pub use tag::Tag;
+pub use traceid::TraceId;
 pub use word::{MsgHeader, SegDesc, Word};

@@ -12,7 +12,10 @@ use jm_isa::instr::{MsgPriority, StatClass};
 use jm_isa::node::{MeshDims, NodeId};
 use jm_isa::reg::{Priority, RegFile};
 use jm_isa::tag::Tag;
-use jm_isa::word::{SegDesc, Word};
+use jm_isa::word::{MsgHeader, SegDesc, Word};
+use jm_isa::TraceId;
+use jm_trace::{Event, EventKind, Tracer};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -167,6 +170,19 @@ pub struct MdpNode {
     pub(crate) halted: bool,
     pub(crate) error: Option<NodeError>,
     pub(crate) stats: NodeStats,
+    /// Lifecycle-event buffer; `None` (the default) disables tracing.
+    pub(crate) tracer: Option<Box<Tracer>>,
+    /// Cycle of the most recent tick (timestamp for events emitted from
+    /// execution paths that carry no cycle parameter).
+    pub(crate) now: u64,
+    /// Tracing only: payload words still owed by the message currently
+    /// streaming into each queue (frames word deliveries into messages).
+    pub(crate) incoming_rem: [u32; 2],
+    /// Tracing only: trace ids of queued-but-undispatched messages, in
+    /// arrival (= dispatch) order.
+    pub(crate) trace_pending: [VecDeque<TraceId>; 2],
+    /// Tracing only: trace id of the message each bank's thread is handling.
+    pub(crate) cur_trace: [TraceId; 3],
 }
 
 impl fmt::Debug for MdpNode {
@@ -260,7 +276,33 @@ impl MdpNode {
             halted: false,
             error: None,
             stats: NodeStats::default(),
+            tracer: None,
+            now: 0,
+            incoming_rem: [0; 2],
+            trace_pending: Default::default(),
+            cur_trace: [TraceId::NONE; 3],
         }
+    }
+
+    /// Turns lifecycle tracing on or off. While on, the node emits
+    /// queue-enter, dispatch, and handler-end events and correlates each
+    /// dispatched thread with the trace id of the message that created it.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer = if on {
+            Some(Box::new(Tracer::new()))
+        } else {
+            None
+        };
+    }
+
+    /// Whether lifecycle tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drains the buffered lifecycle events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<Event> {
+        self.tracer.as_mut().map(|t| t.take()).unwrap_or_default()
     }
 
     /// The node's identity.
@@ -324,7 +366,51 @@ impl MdpNode {
     /// Offers one arriving word to a message queue, returning `false` when
     /// the queue is full (the network must hold the word — backpressure).
     pub fn deliver(&mut self, priority: MsgPriority, word: Word) -> bool {
-        self.queues[priority.index()].push(word)
+        let now = self.now;
+        self.deliver_traced(priority, word, TraceId::NONE, now)
+    }
+
+    /// [`Self::deliver`] with trace correlation: `trace` is the id of the
+    /// message the word belongs to and `now` the delivery cycle. When the
+    /// word opens a new message (the previous one's words have all arrived)
+    /// a queue-enter event is emitted and `trace` is remembered so the
+    /// eventual dispatch can name it.
+    pub fn deliver_traced(
+        &mut self,
+        priority: MsgPriority,
+        word: Word,
+        trace: TraceId,
+        now: u64,
+    ) -> bool {
+        let q = priority.index();
+        if !self.queues[q].push(word) {
+            return false;
+        }
+        if let Some(tracer) = &mut self.tracer {
+            if self.incoming_rem[q] == 0 {
+                // Header word of a new message; `msg` headers carry the
+                // total length, anything else is treated as one word (it
+                // will surface as a queue desync at dispatch).
+                let len = if word.tag() == Tag::Msg {
+                    MsgHeader::from_word(word).len
+                } else {
+                    1
+                };
+                self.incoming_rem[q] = len.saturating_sub(1);
+                self.trace_pending[q].push_back(trace);
+                tracer.emit(
+                    now,
+                    EventKind::QueueEnter {
+                        id: trace,
+                        node: self.id,
+                        priority,
+                    },
+                );
+            } else {
+                self.incoming_rem[q] -= 1;
+            }
+        }
+        true
     }
 
     /// Queue occupancy high-water mark.
@@ -366,6 +452,7 @@ impl MdpNode {
     /// deliveries). Generic over the port so monomorphized engines inline
     /// the injection path.
     pub fn tick<P: NetPort + ?Sized>(&mut self, now: u64, net: &mut P) -> TickOutcome {
+        self.now = now;
         if now < self.busy_until {
             return TickOutcome::Busy {
                 until: self.busy_until,
@@ -439,6 +526,18 @@ impl MdpNode {
         self.cur_handler[priority.index()] = header.ip;
         self.compose[priority.index()].clear();
         self.commit_pending[priority.index()] = false;
+        if let Some(tracer) = &mut self.tracer {
+            let id = self.trace_pending[q].pop_front().unwrap_or(TraceId::NONE);
+            self.cur_trace[priority.index()] = id;
+            tracer.emit(
+                now,
+                EventKind::Dispatch {
+                    id,
+                    node: self.id,
+                    handler: header.ip,
+                },
+            );
+        }
         self.stats.threads += 1;
         self.stats.msgs_received += 1;
         let entry = self.stats.handlers.entry(header.ip).or_default();
@@ -464,6 +563,18 @@ impl MdpNode {
                 let q = if priority == Priority::P0 { 0 } else { 1 };
                 if let Some(ctx) = self.msg_ctx[q].take() {
                     self.queues[q].pop_msg(ctx.len as usize);
+                    if let Some(tracer) = &mut self.tracer {
+                        let pi = priority.index();
+                        tracer.emit(
+                            self.now,
+                            EventKind::HandlerEnd {
+                                id: self.cur_trace[pi],
+                                node: self.id,
+                                handler: self.cur_handler[pi],
+                            },
+                        );
+                        self.cur_trace[pi] = TraceId::NONE;
+                    }
                 }
                 self.active[q] = false;
             }

@@ -3,6 +3,7 @@
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::Coord;
 use jm_isa::word::Word;
+use jm_isa::TraceId;
 
 /// A flit in flight.
 ///
@@ -32,6 +33,9 @@ pub struct Flit {
     /// Earliest cycle at which this flit may leave the buffer it sits in
     /// (prevents multi-hop moves within one cycle).
     pub ready_cycle: u64,
+    /// Lifecycle-trace id of the message this flit belongs to
+    /// ([`TraceId::NONE`] when tracing is disabled).
+    pub trace: TraceId,
 }
 
 impl Flit {
@@ -49,6 +53,7 @@ impl Flit {
         priority: MsgPriority,
         inject_cycle: u64,
         ready_cycle: u64,
+        trace: TraceId,
     ) -> [Flit; 2] {
         let first = Flit {
             dest,
@@ -58,6 +63,7 @@ impl Flit {
             priority,
             inject_cycle,
             ready_cycle,
+            trace,
         };
         let second = Flit {
             dest,
@@ -67,6 +73,7 @@ impl Flit {
             priority,
             inject_cycle,
             ready_cycle,
+            trace,
         };
         [first, second]
     }
@@ -79,8 +86,17 @@ mod tests {
     #[test]
     fn route_words_carry_no_payload() {
         let dest = Coord::new(1, 2, 3);
-        let [a, b] =
-            Flit::pair_for_word(dest, Word::int(5), true, true, false, MsgPriority::P0, 0, 0);
+        let [a, b] = Flit::pair_for_word(
+            dest,
+            Word::int(5),
+            true,
+            true,
+            false,
+            MsgPriority::P0,
+            0,
+            0,
+            TraceId::NONE,
+        );
         assert!(a.head && !b.head);
         assert_eq!(a.payload, None);
         assert_eq!(b.payload, None);
@@ -98,11 +114,14 @@ mod tests {
             MsgPriority::P1,
             7,
             9,
+            TraceId(3),
         );
         assert_eq!(a.payload, None);
         assert_eq!(b.payload, Some(Word::int(9)));
         assert!(!a.tail && b.tail);
         assert_eq!(b.inject_cycle, 7);
         assert_eq!(b.ready_cycle, 9);
+        assert_eq!(a.trace, TraceId(3));
+        assert_eq!(b.trace, TraceId(3));
     }
 }

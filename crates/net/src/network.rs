@@ -9,6 +9,8 @@ use jm_isa::instr::MsgPriority;
 use jm_isa::node::{Coord, NodeId, RouteWord};
 use jm_isa::tag::Tag;
 use jm_isa::word::Word;
+use jm_isa::TraceId;
+use jm_trace::{Event, EventKind, Tracer};
 
 /// Result of offering one word to the injection port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +45,9 @@ pub struct Network {
     eject_pending: BitSet,
     /// Scratch buffer for the active-set snapshot taken by `step`.
     scratch: Vec<u32>,
+    /// Lifecycle-event buffer; `None` (the default) disables tracing, so
+    /// the hot paths pay one pointer test.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Network {
@@ -67,7 +72,34 @@ impl Network {
             active: BitSet::new(nodes),
             eject_pending: BitSet::new(nodes),
             scratch: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Turns lifecycle tracing on or off. While on, every accepted message
+    /// is assigned a [`TraceId`] (its 1-based injection ordinal) and the
+    /// network emits inject / per-hop / deliver events.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer = if on {
+            Some(Box::new(Tracer::new()))
+        } else {
+            None
+        };
+    }
+
+    /// Whether lifecycle tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drains the buffered lifecycle events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<Event> {
+        self.tracer.as_mut().map(|t| t.take()).unwrap_or_default()
+    }
+
+    /// Routers currently holding buffered flits.
+    pub fn active_routers(&self) -> u32 {
+        self.active.count() as u32
     }
 
     /// The network configuration.
@@ -152,6 +184,23 @@ impl Network {
                 framing.dest = Some(dest);
                 framing.msg_start = cycle;
                 self.stats.injected_msgs += 1;
+                framing.trace = match &mut self.tracer {
+                    Some(tracer) => {
+                        let id = TraceId(self.stats.injected_msgs);
+                        tracer.emit(
+                            cycle,
+                            EventKind::Inject {
+                                id,
+                                src: node,
+                                dst: dims.id(dest),
+                                priority,
+                                words: 0,
+                            },
+                        );
+                        id
+                    }
+                    None => TraceId::NONE,
+                };
                 (dest, true, true)
             }
             Some(dest) => {
@@ -162,6 +211,7 @@ impl Network {
             }
         };
         let msg_start = router.inject[vnet].msg_start;
+        let trace = router.inject[vnet].trace;
         let pair = Flit::pair_for_word(
             dest,
             word,
@@ -171,6 +221,7 @@ impl Network {
             priority,
             msg_start,
             cycle + inject_latency,
+            trace,
         );
         for flit in pair {
             router.inputs[vnet][IN_INJECT].push_back(flit);
@@ -216,6 +267,23 @@ impl Network {
             return InjectResult::Stall;
         }
         self.stats.injected_msgs += 1;
+        let trace = match &mut self.tracer {
+            Some(tracer) => {
+                let id = TraceId(self.stats.injected_msgs);
+                tracer.emit(
+                    cycle,
+                    EventKind::Inject {
+                        id,
+                        src: node,
+                        dst: dims.id(dest),
+                        priority,
+                        words: words.len() as u32 - 1,
+                    },
+                );
+                id
+            }
+            None => TraceId::NONE,
+        };
         for (i, &word) in words.iter().enumerate() {
             let pair = Flit::pair_for_word(
                 dest,
@@ -226,6 +294,7 @@ impl Network {
                 priority,
                 cycle,
                 cycle + inject_latency,
+                trace,
             );
             for flit in pair {
                 router.inputs[vnet][IN_INJECT].push_back(flit);
@@ -239,6 +308,16 @@ impl Network {
 
     /// Next delivered payload word for a node, if any (peek).
     pub fn delivered_front(&self, node: NodeId, priority: MsgPriority) -> Option<Word> {
+        self.delivered_front_traced(node, priority).map(|(w, _)| w)
+    }
+
+    /// Next delivered payload word with the trace id of the message that
+    /// carried it ([`TraceId::NONE`] when tracing is off).
+    pub fn delivered_front_traced(
+        &self,
+        node: NodeId,
+        priority: MsgPriority,
+    ) -> Option<(Word, TraceId)> {
         self.routers[node.index()].ejected[priority.index()]
             .front()
             .copied()
@@ -247,7 +326,7 @@ impl Network {
     /// Pops the next delivered payload word for a node.
     pub fn pop_delivered(&mut self, node: NodeId, priority: MsgPriority) -> Option<Word> {
         let router = &mut self.routers[node.index()];
-        let word = router.ejected[priority.index()].pop_front();
+        let word = router.ejected[priority.index()].pop_front().map(|(w, _)| w);
         if word.is_some() && router.ejected[0].is_empty() && router.ejected[1].is_empty() {
             self.eject_pending.remove(node.index());
         }
@@ -380,9 +459,29 @@ impl Network {
                     if out == OUT_EJECT {
                         self.in_flight -= 1;
                         if let Some(word) = flit.payload {
-                            self.routers[n].ejected[vnet].push_back(word);
+                            self.routers[n].ejected[vnet].push_back((word, flit.trace));
                             self.eject_pending.insert(n);
                             self.stats.delivered_words += 1;
+                            // The message's first payload word (its header)
+                            // reaching the ejection FIFO is the deliver
+                            // event: the MDP dispatches on header arrival
+                            // while the tail may still be streaming in, so
+                            // keying on the tail would let dispatch precede
+                            // delivery.
+                            if let Some(tracer) = &mut self.tracer {
+                                if flit.trace.is_some()
+                                    && self.routers[n].eject_cur[vnet] != flit.trace
+                                {
+                                    self.routers[n].eject_cur[vnet] = flit.trace;
+                                    tracer.emit(
+                                        cycle,
+                                        EventKind::Deliver {
+                                            id: flit.trace,
+                                            node: NodeId(n as u32),
+                                        },
+                                    );
+                                }
+                            }
                         }
                         if flit.tail {
                             self.stats.delivered_msgs += 1;
@@ -391,6 +490,19 @@ impl Network {
                             self.stats.latency_max = self.stats.latency_max.max(latency);
                         }
                     } else {
+                        if flit.head {
+                            if let Some(tracer) = &mut self.tracer {
+                                if flit.trace.is_some() {
+                                    tracer.emit(
+                                        cycle,
+                                        EventKind::Hop {
+                                            id: flit.trace,
+                                            node: NodeId(n as u32),
+                                        },
+                                    );
+                                }
+                            }
+                        }
                         self.stats.flit_hops += 1;
                         if self.crosses_bisection(here, out) {
                             self.stats.bisection_flits += 1;

@@ -5,6 +5,7 @@ use crate::flit::Flit;
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::Coord;
 use jm_isa::word::Word;
+use jm_isa::TraceId;
 use std::collections::VecDeque;
 
 /// Router ports: six mesh directions plus ejection.
@@ -98,6 +99,8 @@ pub(crate) struct InjectState {
     pub dest: Option<Coord>,
     /// Inject cycle of the current message's route word (for latency stats).
     pub msg_start: u64,
+    /// Trace id of the current message ([`TraceId::NONE`] when untraced).
+    pub trace: TraceId,
 }
 
 /// One node's router.
@@ -108,10 +111,15 @@ pub(crate) struct Router {
     pub inputs: [[VecDeque<Flit>; IN_PORTS]; 2],
     /// Output ownership: `[vnet][out_port]` → owning input port.
     pub owners: [[Option<usize>; OUT_PORTS]; 2],
-    /// Ejected payload words awaiting the node, per vnet.
-    pub ejected: [VecDeque<Word>; 2],
+    /// Ejected payload words awaiting the node (paired with the delivering
+    /// message's trace id), per vnet.
+    pub ejected: [VecDeque<(Word, TraceId)>; 2],
     /// Injection framing per vnet.
     pub inject: [InjectState; 2],
+    /// Tracing only: trace id of the message currently streaming out of the
+    /// ejection port, per vnet (wormhole routing ejects messages whole, so
+    /// a changed id marks a new message's first payload word).
+    pub eject_cur: [TraceId; 2],
     /// Total flits across all input buffers (cheap activity check).
     pub occupancy: u32,
 }
@@ -124,6 +132,7 @@ impl Router {
             owners: Default::default(),
             ejected: Default::default(),
             inject: Default::default(),
+            eject_cur: [TraceId::NONE; 2],
             occupancy: 0,
         }
     }

@@ -1,0 +1,216 @@
+//! Lifecycle events and the per-component event buffer.
+
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::NodeId;
+use jm_isa::TraceId;
+
+/// One lifecycle event, stamped with the machine cycle at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Machine cycle of the event.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The stages of a message's life, in causal order.
+///
+/// The end-to-end latency of message *m* decomposes along these events
+/// exactly as the paper's cost model `T = T_net + T_queue + T_dispatch`
+/// predicts:
+///
+/// * [`Inject`](EventKind::Inject) → [`Deliver`](EventKind::Deliver) is
+///   `T_net` (injection pipeline plus wire time of the header word — the
+///   MDP dispatches on header arrival while the tail may still be
+///   streaming through the network, so delivery is keyed on the head);
+/// * [`Deliver`](EventKind::Deliver) → [`Dispatch`](EventKind::Dispatch) is
+///   `T_queue` (ejection-FIFO staging, remaining streaming, and
+///   message-queue wait);
+/// * [`Dispatch`](EventKind::Dispatch) → first handler instruction is the
+///   hardware's fixed dispatch cost, and →
+///   [`HandlerEnd`](EventKind::HandlerEnd) the handler run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A whole message was accepted by a node's injection port.
+    Inject {
+        /// The message.
+        id: TraceId,
+        /// Injecting node.
+        src: NodeId,
+        /// Destination named by the route word.
+        dst: NodeId,
+        /// Virtual network.
+        priority: MsgPriority,
+        /// Payload length in words (route word excluded); 0 when unknown
+        /// (word-at-a-time injection).
+        words: u32,
+    },
+    /// The message's head flit advanced one hop to a neighbouring router.
+    Hop {
+        /// The message.
+        id: TraceId,
+        /// Router the flit departed from.
+        node: NodeId,
+    },
+    /// The message's first payload word (its header) reached the
+    /// destination's ejection FIFO.
+    Deliver {
+        /// The message.
+        id: TraceId,
+        /// Destination node.
+        node: NodeId,
+    },
+    /// The message's header word entered the node's hardware message queue.
+    QueueEnter {
+        /// The message ([`TraceId::NONE`] for host-port deliveries).
+        id: TraceId,
+        /// Receiving node.
+        node: NodeId,
+        /// Queue priority.
+        priority: MsgPriority,
+    },
+    /// The queue head reached dispatch: a handler thread was created.
+    Dispatch {
+        /// The message ([`TraceId::NONE`] for host-port deliveries).
+        id: TraceId,
+        /// Dispatching node.
+        node: NodeId,
+        /// Handler entry point (instruction index).
+        handler: u32,
+    },
+    /// The handler thread ended (`SUSPEND` retired).
+    HandlerEnd {
+        /// The message that created the thread.
+        id: TraceId,
+        /// Node the thread ran on.
+        node: NodeId,
+        /// Handler entry point.
+        handler: u32,
+    },
+}
+
+impl EventKind {
+    /// Causal rank of the kind, used as a deterministic same-cycle
+    /// tie-breaker when buffers from independent components are merged.
+    pub fn rank(&self) -> u8 {
+        match self {
+            EventKind::Inject { .. } => 0,
+            EventKind::Hop { .. } => 1,
+            EventKind::Deliver { .. } => 2,
+            EventKind::QueueEnter { .. } => 3,
+            EventKind::Dispatch { .. } => 4,
+            EventKind::HandlerEnd { .. } => 5,
+        }
+    }
+
+    /// The message the event belongs to.
+    pub fn id(&self) -> TraceId {
+        match *self {
+            EventKind::Inject { id, .. }
+            | EventKind::Hop { id, .. }
+            | EventKind::Deliver { id, .. }
+            | EventKind::QueueEnter { id, .. }
+            | EventKind::Dispatch { id, .. }
+            | EventKind::HandlerEnd { id, .. } => id,
+        }
+    }
+}
+
+/// An append-only event buffer owned by one simulation component.
+///
+/// Each component (the network, every node) that traces holds its own
+/// `Tracer`, so the hot paths never contend on a shared sink; the machine
+/// collects and merges the buffers when a
+/// [`MachineTrace`](crate::MachineTrace) is assembled. A component that is
+/// not tracing holds no tracer at all (`Option<Box<Tracer>>`), making the
+/// disabled path a single pointer test.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    events: Vec<Event>,
+}
+
+impl Tracer {
+    /// Creates an empty buffer.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Records one event.
+    #[inline]
+    pub fn emit(&mut self, cycle: u64, kind: EventKind) {
+        self.events.push(Event { cycle, kind });
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drains the buffer, leaving the tracer empty but still recording.
+    pub fn take(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_follow_causal_order() {
+        let id = TraceId(1);
+        let n = NodeId(0);
+        let seq = [
+            EventKind::Inject {
+                id,
+                src: n,
+                dst: n,
+                priority: MsgPriority::P0,
+                words: 2,
+            },
+            EventKind::Hop { id, node: n },
+            EventKind::Deliver { id, node: n },
+            EventKind::QueueEnter {
+                id,
+                node: n,
+                priority: MsgPriority::P0,
+            },
+            EventKind::Dispatch {
+                id,
+                node: n,
+                handler: 0,
+            },
+            EventKind::HandlerEnd {
+                id,
+                node: n,
+                handler: 0,
+            },
+        ];
+        for (i, k) in seq.iter().enumerate() {
+            assert_eq!(k.rank() as usize, i);
+            assert_eq!(k.id(), id);
+        }
+    }
+
+    #[test]
+    fn tracer_records_and_drains() {
+        let mut t = Tracer::new();
+        assert!(t.is_empty());
+        t.emit(
+            3,
+            EventKind::Hop {
+                id: TraceId(1),
+                node: NodeId(2),
+            },
+        );
+        assert_eq!(t.len(), 1);
+        let events = t.take();
+        assert_eq!(events[0].cycle, 3);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! Assembled whole-machine traces and per-message latency decomposition.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::Histogram;
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::NodeId;
+use jm_isa::TraceId;
+use std::collections::HashMap;
+
+/// One periodic sample of machine-wide occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePoint {
+    /// Cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Words buffered across all node message queues.
+    pub queued_words: u64,
+    /// Flits buffered inside the network.
+    pub in_flight: u64,
+    /// Routers currently holding flits.
+    pub active_routers: u32,
+    /// Nodes with runnable or queued work.
+    pub busy_nodes: u32,
+}
+
+/// One message's reconstructed lifecycle, correlated by [`TraceId`].
+///
+/// Cycles are absolute; stages a message never reached (e.g. it was still
+/// in flight when the trace was collected) are `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgTrace {
+    /// The message.
+    pub id: TraceId,
+    /// Injecting node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual network.
+    pub priority: MsgPriority,
+    /// Payload words (route word excluded); 0 when injected word-at-a-time.
+    pub words: u32,
+    /// Cycle the injection port accepted the message.
+    pub inject: u64,
+    /// Cycle the header word reached the destination ejection FIFO.
+    pub deliver: Option<u64>,
+    /// Cycle the header word entered the destination's message queue.
+    pub queue_enter: Option<u64>,
+    /// Cycle the hardware dispatched a handler thread for the message.
+    pub dispatch: Option<u64>,
+    /// Cycle the handler thread ended.
+    pub handler_end: Option<u64>,
+    /// Handler entry point, once dispatched.
+    pub handler: Option<u32>,
+    /// Router-to-router hops taken by the head flit.
+    pub hops: u32,
+}
+
+impl MsgTrace {
+    /// Network component: inject → header ejection.
+    pub fn t_net(&self) -> Option<u64> {
+        self.deliver.map(|d| d - self.inject)
+    }
+
+    /// Queueing component: header ejection → dispatch (ejection-FIFO
+    /// staging, remaining streaming, and message-queue wait).
+    pub fn t_queue(&self) -> Option<u64> {
+        Some(self.dispatch? - self.deliver?)
+    }
+
+    /// Handler component: dispatch → thread end (includes the hardware's
+    /// fixed dispatch cost).
+    pub fn t_handler(&self) -> Option<u64> {
+        Some(self.handler_end? - self.dispatch?)
+    }
+
+    /// End-to-end latency: inject → dispatch. Always equals
+    /// `t_net + t_queue` by construction.
+    pub fn end_to_end(&self) -> Option<u64> {
+        self.dispatch.map(|d| d - self.inject)
+    }
+}
+
+/// Latency histograms over every fully-dispatched message in a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// `t_net` distribution.
+    pub net: Histogram,
+    /// `t_queue` distribution.
+    pub queue: Histogram,
+    /// `t_handler` distribution (messages whose handler ended).
+    pub handler: Histogram,
+    /// End-to-end (inject → dispatch) distribution.
+    pub end_to_end: Histogram,
+    /// Hop-count distribution.
+    pub hops: Histogram,
+}
+
+/// A whole machine run's merged trace: every component's events in one
+/// deterministic order, plus the periodic occupancy samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineTrace {
+    /// All events, sorted by `(cycle, causal rank, id)`.
+    pub events: Vec<Event>,
+    /// Periodic occupancy samples, in cycle order.
+    pub samples: Vec<SamplePoint>,
+    /// Number of nodes in the traced machine.
+    pub nodes: u32,
+}
+
+impl MachineTrace {
+    /// Merges per-component event buffers into one trace. Events are sorted
+    /// by cycle, then causal rank, then message id, then node — a total
+    /// order independent of buffer iteration order, so two runs of the same
+    /// program produce byte-identical traces.
+    pub fn assemble(
+        sources: Vec<Vec<Event>>,
+        samples: Vec<SamplePoint>,
+        nodes: u32,
+    ) -> MachineTrace {
+        let mut events: Vec<Event> = sources.into_iter().flatten().collect();
+        events.sort_by_key(|e| (e.cycle, e.kind.rank(), e.kind.id(), sort_node(&e.kind)));
+        MachineTrace {
+            events,
+            samples,
+            nodes,
+        }
+    }
+
+    /// Reconstructs every injected message's lifecycle, in injection order.
+    pub fn messages(&self) -> Vec<MsgTrace> {
+        let mut by_id: HashMap<TraceId, usize> = HashMap::new();
+        let mut msgs: Vec<MsgTrace> = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Inject {
+                    id,
+                    src,
+                    dst,
+                    priority,
+                    words,
+                } => {
+                    by_id.insert(id, msgs.len());
+                    msgs.push(MsgTrace {
+                        id,
+                        src,
+                        dst,
+                        priority,
+                        words,
+                        inject: e.cycle,
+                        deliver: None,
+                        queue_enter: None,
+                        dispatch: None,
+                        handler_end: None,
+                        handler: None,
+                        hops: 0,
+                    });
+                }
+                EventKind::Hop { id, .. } => {
+                    if let Some(&i) = by_id.get(&id) {
+                        msgs[i].hops += 1;
+                    }
+                }
+                EventKind::Deliver { id, .. } => {
+                    if let Some(&i) = by_id.get(&id) {
+                        msgs[i].deliver = Some(e.cycle);
+                    }
+                }
+                EventKind::QueueEnter { id, .. } => {
+                    if let Some(&i) = by_id.get(&id) {
+                        msgs[i].queue_enter = Some(e.cycle);
+                    }
+                }
+                EventKind::Dispatch { id, handler, .. } => {
+                    if let Some(&i) = by_id.get(&id) {
+                        msgs[i].dispatch = Some(e.cycle);
+                        msgs[i].handler = Some(handler);
+                    }
+                }
+                EventKind::HandlerEnd { id, .. } => {
+                    if let Some(&i) = by_id.get(&id) {
+                        msgs[i].handler_end = Some(e.cycle);
+                    }
+                }
+            }
+        }
+        msgs
+    }
+
+    /// Histograms of the latency decomposition over all dispatched messages.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for m in self.messages() {
+            if let (Some(net), Some(queue), Some(e2e)) = (m.t_net(), m.t_queue(), m.end_to_end()) {
+                b.net.record(net);
+                b.queue.record(queue);
+                b.end_to_end.record(e2e);
+                b.hops.record(u64::from(m.hops));
+            }
+            if let Some(h) = m.t_handler() {
+                b.handler.record(h);
+            }
+        }
+        b
+    }
+
+    /// Renders the per-mechanism latency breakdown as a text table: one row
+    /// per component, mean/median/p99/max in cycles.
+    pub fn breakdown_table(&self) -> String {
+        let b = self.breakdown();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "per-mechanism latency breakdown over {} dispatched message(s)\n\n",
+            b.end_to_end.count()
+        ));
+        out.push_str(&format!(
+            "  {:<26} {:>10} {:>8} {:>8} {:>8}\n",
+            "component", "mean", "p50<=", "p99<=", "max"
+        ));
+        for (name, h) in [
+            ("T_net (wire)", &b.net),
+            ("T_queue (eject+queue)", &b.queue),
+            ("end-to-end (to dispatch)", &b.end_to_end),
+            ("T_handler (incl. dispatch)", &b.handler),
+            ("hops", &b.hops),
+        ] {
+            out.push_str(&format!(
+                "  {:<26} {:>10.1} {:>8} {:>8} {:>8}\n",
+                name,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+/// Node used only to complete the deterministic sort key.
+fn sort_node(kind: &EventKind) -> u32 {
+    match *kind {
+        EventKind::Inject { src, .. } => src.0,
+        EventKind::Hop { node, .. }
+        | EventKind::Deliver { node, .. }
+        | EventKind::QueueEnter { node, .. }
+        | EventKind::Dispatch { node, .. }
+        | EventKind::HandlerEnd { node, .. } => node.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lifecycle_events() -> Vec<Event> {
+        let id = TraceId(1);
+        vec![
+            Event {
+                cycle: 10,
+                kind: EventKind::Inject {
+                    id,
+                    src: NodeId(0),
+                    dst: NodeId(3),
+                    priority: MsgPriority::P0,
+                    words: 2,
+                },
+            },
+            Event {
+                cycle: 12,
+                kind: EventKind::Hop {
+                    id,
+                    node: NodeId(0),
+                },
+            },
+            Event {
+                cycle: 13,
+                kind: EventKind::Hop {
+                    id,
+                    node: NodeId(1),
+                },
+            },
+            Event {
+                cycle: 18,
+                kind: EventKind::Deliver {
+                    id,
+                    node: NodeId(3),
+                },
+            },
+            Event {
+                cycle: 19,
+                kind: EventKind::QueueEnter {
+                    id,
+                    node: NodeId(3),
+                    priority: MsgPriority::P0,
+                },
+            },
+            Event {
+                cycle: 20,
+                kind: EventKind::Dispatch {
+                    id,
+                    node: NodeId(3),
+                    handler: 7,
+                },
+            },
+            Event {
+                cycle: 30,
+                kind: EventKind::HandlerEnd {
+                    id,
+                    node: NodeId(3),
+                    handler: 7,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn assemble_orders_across_buffers() {
+        let all = lifecycle_events();
+        // Split events across two buffers in a scrambled grouping.
+        let a = vec![all[3], all[6]];
+        let b = vec![all[0], all[1], all[2], all[4], all[5]];
+        let t = MachineTrace::assemble(vec![a, b], Vec::new(), 8);
+        assert_eq!(t.events, all);
+    }
+
+    #[test]
+    fn messages_reconstruct_the_decomposition() {
+        let t = MachineTrace::assemble(vec![lifecycle_events()], Vec::new(), 8);
+        let msgs = t.messages();
+        assert_eq!(msgs.len(), 1);
+        let m = &msgs[0];
+        assert_eq!(m.hops, 2);
+        assert_eq!(m.t_net(), Some(8));
+        assert_eq!(m.t_queue(), Some(2));
+        assert_eq!(m.t_handler(), Some(10));
+        assert_eq!(m.end_to_end(), Some(10));
+        assert_eq!(
+            m.t_net().unwrap() + m.t_queue().unwrap(),
+            m.end_to_end().unwrap()
+        );
+    }
+
+    #[test]
+    fn breakdown_counts_only_dispatched_messages() {
+        let mut events = lifecycle_events();
+        // A second message that never got past injection.
+        events.push(Event {
+            cycle: 40,
+            kind: EventKind::Inject {
+                id: TraceId(2),
+                src: NodeId(1),
+                dst: NodeId(2),
+                priority: MsgPriority::P0,
+                words: 3,
+            },
+        });
+        let t = MachineTrace::assemble(vec![events], Vec::new(), 8);
+        let b = t.breakdown();
+        assert_eq!(b.end_to_end.count(), 1);
+        assert_eq!(t.messages().len(), 2);
+        assert!(t.breakdown_table().contains("1 dispatched message"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Lifecycle-tracing integration tests.
+//!
+//! A 4×4 mesh runs a many-to-one RPC workload (every node sends its id to
+//! node 0) with tracing enabled, and the assembled trace must tell a
+//! causally consistent story: every message's events strictly ordered
+//! (inject < deliver < dispatch < handler-end), hop counts equal to mesh
+//! distance, and the latency decomposition summing exactly to the
+//! end-to-end latency. Tracing must also be *purely observational*: the
+//! same workload with tracing on and off produces bit-identical machine
+//! statistics on both engines, and two traced runs produce byte-identical
+//! trace summaries.
+
+use jm_asm::{hdr, Builder, Program, Region};
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::{MeshDims, NodeId};
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::tag::Tag;
+use jm_machine::{Engine, JMachine, MachineConfig, MachineTrace, StartPolicy, TraceConfig};
+use jm_trace::{chrome_json, hash, summary_json};
+
+/// Every node sends `(recv, nid)` to node 0; node 0's handler stores the
+/// latest sender id.
+fn gather_program() -> Program {
+    let mut b = Builder::new();
+    b.reserve("last", Region::Imem, 1);
+
+    b.label("main");
+    // Route word for node (0,0,0): zero coordinate bits, route tag.
+    b.movi(R0, 0);
+    b.wtag(R0, R0, Tag::Route.bits() as i32);
+    b.send(MsgPriority::P0, R0);
+    b.send2e(MsgPriority::P0, hdr("recv", 2), Special::Nid);
+    b.suspend();
+
+    b.label("recv");
+    b.mov(R0, MemRef::disp(A3, 1));
+    b.load_seg(A0, "last");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.suspend();
+
+    b.entry("main");
+    b.assemble().unwrap()
+}
+
+fn mesh() -> MeshDims {
+    MeshDims::new(4, 4, 1)
+}
+
+fn config(engine: Engine, traced: bool) -> MachineConfig {
+    let mut c = MachineConfig::with_dims(mesh())
+        .start(StartPolicy::AllNodes)
+        .engine(engine);
+    if traced {
+        c = c.trace(TraceConfig::on().sample_every(16));
+    }
+    c
+}
+
+/// Runs the gather workload to quiescence and returns the machine.
+fn run(engine: Engine, traced: bool) -> JMachine {
+    let mut m = JMachine::new(gather_program(), config(engine, traced));
+    m.run_until_quiescent(100_000).expect("workload finished");
+    m
+}
+
+fn traced_run(engine: Engine) -> (JMachine, MachineTrace) {
+    let mut m = run(engine, true);
+    let trace = m.take_trace().expect("tracing was enabled");
+    (m, trace)
+}
+
+#[test]
+fn untraced_machine_has_no_trace() {
+    let mut m = run(Engine::Event, false);
+    assert!(m.take_trace().is_none());
+}
+
+#[test]
+fn lifecycle_events_are_strictly_ordered() {
+    let (m, trace) = traced_run(Engine::Event);
+    let msgs = trace.messages();
+    // One message per node, all injected and dispatched.
+    assert_eq!(msgs.len() as u64, m.stats().net.injected_msgs);
+    assert_eq!(msgs.len(), 16);
+    let dims = mesh();
+    for msg in &msgs {
+        let deliver = msg.deliver.expect("delivered");
+        let dispatch = msg.dispatch.expect("dispatched");
+        let handler_end = msg.handler_end.expect("handler ended");
+        assert!(msg.inject < deliver, "{msg:?}");
+        assert!(deliver < dispatch, "{msg:?}");
+        assert!(dispatch < handler_end, "{msg:?}");
+        assert_eq!(msg.dst, NodeId(0));
+        // The head flit crosses one channel per hop of mesh distance.
+        let c = dims.coord(msg.src);
+        let distance = u32::from(c.x) + u32::from(c.y) + u32::from(c.z);
+        assert_eq!(msg.hops, distance, "{msg:?}");
+    }
+}
+
+#[test]
+fn decomposition_sums_to_end_to_end_latency() {
+    let (_, trace) = traced_run(Engine::Event);
+    for msg in trace.messages() {
+        let t_net = msg.t_net().expect("net component");
+        let t_queue = msg.t_queue().expect("queue component");
+        let end_to_end = msg.end_to_end().expect("end to end");
+        assert_eq!(t_net + t_queue, end_to_end, "{msg:?}");
+        assert!(msg.t_handler().expect("handler component") > 0);
+    }
+    let b = trace.breakdown();
+    assert_eq!(b.end_to_end.count(), 16);
+    assert_eq!(b.net.count(), 16);
+    assert_eq!(
+        b.net.sum() + b.queue.sum(),
+        b.end_to_end.sum(),
+        "component sums must add up"
+    );
+}
+
+#[test]
+fn tracing_is_purely_observational() {
+    // Bit-identical MachineStats with tracing on vs off, on both engines.
+    for engine in [Engine::Event, Engine::Naive] {
+        let plain = run(engine, false);
+        let traced = run(engine, true);
+        assert_eq!(
+            plain.stats(),
+            traced.stats(),
+            "{engine:?}: tracing changed observable statistics"
+        );
+    }
+    // Both engines see the same lifecycle (same per-message cycle stamps).
+    let (_, ev) = traced_run(Engine::Event);
+    let (_, na) = traced_run(Engine::Naive);
+    assert_eq!(ev.messages(), na.messages());
+}
+
+#[test]
+fn trace_summary_is_deterministic() {
+    let (_, a) = traced_run(Engine::Event);
+    let (_, b) = traced_run(Engine::Event);
+    assert_eq!(hash(&a), hash(&b));
+    assert_eq!(summary_json(&a), summary_json(&b));
+}
+
+#[test]
+fn exports_are_well_formed() {
+    let (_, trace) = traced_run(Engine::Event);
+    assert!(!trace.samples.is_empty(), "sampling produced no points");
+    assert!(trace.samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+
+    let chrome = chrome_json(&trace);
+    assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    assert!(chrome.contains(r#""ph":"X""#), "no complete spans");
+    assert!(chrome.contains(r#""ph":"C""#), "no counter samples");
+    assert!(chrome.contains("net msg#"));
+    assert!(chrome.contains("queue msg#"));
+    assert!(chrome.contains("handler@"));
+
+    let summary = summary_json(&trace);
+    assert!(summary.contains(r#""injected": 16"#));
+    assert!(summary.contains(r#""dispatched": 16"#));
+    assert!(summary.contains("\"trace_hash\""));
+}
