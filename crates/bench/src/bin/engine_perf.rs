@@ -2,13 +2,22 @@
 //! wall clock) of the two machine engines on contrasting workloads, and
 //! writes `BENCH_engine.json`.
 //!
-//! Usage: `engine_perf [--out PATH] [--quick] [--trace]`
+//! Usage: `engine_perf [--out PATH] [--quick] [--trace] [--threads]`
 //!
 //! `--trace` additionally runs the ring workload on the event engine with
 //! lifecycle tracing enabled and reports the tracing overhead (the
 //! disabled path is a single pointer test, so the untraced numbers are
 //! unaffected either way); the traced run's deterministic trace hash is
 //! included in the JSON.
+//!
+//! `--threads` additionally sweeps the parallel engine over 1, 2, and 4
+//! worker threads on the load-dominated exchange workload (the only one
+//! where threads can help — the ring keeps one node busy), asserting the
+//! results bit-identical to the event engine and recording the scaling in
+//! a `"threads"` JSON section. On hosts with ≥ 4 CPUs the 4-thread run
+//! must clear a 1.5x speedup floor; on smaller hosts (CI runners pinned
+//! to one core) the floor is reported but not enforced, and `host_cpus`
+//! is recorded so readers can tell which regime produced the numbers.
 //!
 //! Two workloads bracket the design space:
 //!
@@ -159,6 +168,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let trace = args.iter().any(|a| a == "--trace");
+    let threads = args.iter().any(|a| a == "--threads");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -223,6 +233,28 @@ fn main() {
             traced.cycles_per_sec(),
             overhead,
         );
+    }
+    if threads {
+        let sweep = jm_bench::threads::sweep(exch_nodes, exch_cycles, &[1, 2, 4]);
+        print!("{}", jm_bench::threads::render(&sweep));
+        let _ = write!(
+            body,
+            ",\n  \"threads\": {}",
+            jm_bench::threads::render_json(&sweep)
+        );
+        let four = sweep.speedup(4).expect("4-thread point");
+        if sweep.host_cpus >= 4 {
+            assert!(
+                four >= 1.5,
+                "4-thread speedup {four:.2}x below the 1.5x floor on a {}-CPU host",
+                sweep.host_cpus
+            );
+        } else {
+            println!(
+                "note: host has {} CPU(s); the 1.5x 4-thread floor ({four:.2}x measured) is not enforced",
+                sweep.host_cpus
+            );
+        }
     }
     let body = format!("{body}\n}}\n");
     std::fs::write(&out_path, &body).expect("write BENCH_engine.json");

@@ -26,3 +26,4 @@ pub mod macrob;
 pub mod micro;
 pub mod observe;
 pub mod table;
+pub mod threads;

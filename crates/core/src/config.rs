@@ -20,19 +20,51 @@ pub enum StartPolicy {
 
 /// Which simulation engine drives the machine's clock.
 ///
-/// Both engines are **cycle-exact**: final memory, machine statistics,
+/// All engines are **cycle-exact**: final memory, machine statistics,
 /// per-class cycle attribution, and network counters are identical. They
 /// differ only in host run time — the event engine tracks work instead of
-/// scanning for it, so idle nodes and an empty network cost nothing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// scanning for it, and the parallel engine additionally spreads the mesh's
+/// z-slabs over worker threads (bit-identically: see `DESIGN.md` §4.7 for
+/// the two-phase tick and the determinism argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// Event-driven: active-node worklist, delivery notification, active
     /// routers only, and O(1) quiescence. The default.
-    #[default]
     Event,
     /// Naive reference: every node ticks and every router is scanned every
     /// cycle. Kept as the semantic baseline for differential testing.
     Naive,
+    /// Deterministic multi-threaded: the mesh is cut into (up to) this many
+    /// contiguous z-slabs, one worker thread per slab, synchronized by a
+    /// two-phase barrier per cycle. Results are bit-identical to the other
+    /// engines for every thread count. The count is clamped to the z
+    /// extent; `Parallel(1)` runs the event engine's sequential path.
+    /// Machines built with lifecycle tracing enabled fall back to
+    /// [`Engine::Event`] (trace ids need a global injection counter).
+    Parallel(u32),
+}
+
+/// Process-wide default-engine override (see [`Engine::set_default`]).
+static DEFAULT_ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+
+impl Default for Engine {
+    /// [`Engine::Event`], unless the process overrode it.
+    fn default() -> Engine {
+        *DEFAULT_ENGINE.get().unwrap_or(&Engine::Event)
+    }
+}
+
+impl Engine {
+    /// Overrides what [`Engine::default`] — and therefore every
+    /// [`MachineConfig`] that doesn't set an engine explicitly — returns
+    /// for the rest of the process. The first call wins; later calls are
+    /// ignored. This exists for harness binaries (e.g. `repro_all
+    /// --threads N`) that must run an entire experiment suite under a
+    /// non-default engine without plumbing a parameter through every
+    /// experiment's API; call it at startup, before building machines.
+    pub fn set_default(engine: Engine) {
+        let _ = DEFAULT_ENGINE.set(engine);
+    }
 }
 
 /// Message-lifecycle tracing configuration.

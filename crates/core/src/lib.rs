@@ -40,6 +40,7 @@
 
 mod config;
 mod machine;
+mod parallel;
 mod stats;
 
 pub use config::{Engine, MachineConfig, StartPolicy, TraceConfig};

@@ -16,7 +16,7 @@ use jm_isa::instr::{MsgPriority, StatClass};
 use jm_isa::node::NodeId;
 use jm_isa::word::{MsgHeader, Word};
 use jm_isa::TraceId;
-use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError, TickOutcome};
+use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError};
 use jm_net::{InjectResult, Network};
 use jm_trace::{MachineTrace, SamplePoint};
 use std::cmp::Reverse;
@@ -91,44 +91,52 @@ impl NetPort for Port<'_> {
 }
 
 /// Sentinel in `wake_at`: the node is parked (not in the wake heap).
-const PARKED: u64 = u64::MAX;
+pub(crate) const PARKED: u64 = u64::MAX;
 /// Sentinel in `idle_since`: the node is not parked idle.
-const NOT_IDLE: u64 = u64::MAX;
+pub(crate) const NOT_IDLE: u64 = u64::MAX;
 
-/// Event-engine bookkeeping: which nodes need ticking and when.
+/// Event-engine bookkeeping for one shard's nodes: which need ticking and
+/// when. The sequential event engine uses a single all-covering instance;
+/// the parallel engine gives each shard its own, mirroring the network's
+/// slab layout. Heap entries and method arguments use **global** node ids;
+/// the per-node vectors are indexed locally (`id - base`).
 ///
-/// Invariants (between steps):
-/// * node `i` has exactly one heap entry iff `wake_at[i] != PARKED`, and
-///   that entry is `(wake_at[i], i)`;
+/// Invariants (between steps), writing `l` for a node's local index:
+/// * node `i` has exactly one heap entry iff `wake_at[l] != PARKED`, and
+///   that entry is `(wake_at[l], i)`;
 /// * a parked node's `schedule()` decision is `Idle` or `Stopped`, so it
 ///   cannot make progress until a delivery arrives (which re-schedules it);
-/// * `idle_since[i] != NOT_IDLE` iff `i` is parked after an idle tick;
-///   cycles `idle_since[i]..` are idle cycles the node has not yet been
+/// * `idle_since[l] != NOT_IDLE` iff the node is parked after an idle tick;
+///   cycles `idle_since[l]..` are idle cycles the node has not yet been
 ///   credited for (repaid on wake-up, or virtually by [`JMachine::stats`]);
-/// * `has_work[i]` mirrors `nodes[i].has_work()` and `work_count` counts
-///   the `true` entries, making quiescence O(1);
-/// * `errored[i]`/`error_count` latch nodes that stopped with an error.
-struct EventSched {
-    heap: BinaryHeap<Reverse<(u64, u32)>>,
-    wake_at: Vec<u64>,
-    idle_since: Vec<u64>,
+/// * `has_work[l]` mirrors `nodes[l].has_work()` and `work_count` counts
+///   the `true` entries, making quiescence O(shards);
+/// * `errored[l]`/`error_count` latch nodes that stopped with an error.
+pub(crate) struct EventSched {
+    /// First global node id this scheduler covers.
+    base: usize,
+    pub(crate) heap: BinaryHeap<Reverse<(u64, u32)>>,
+    pub(crate) wake_at: Vec<u64>,
+    pub(crate) idle_since: Vec<u64>,
     has_work: Vec<bool>,
-    work_count: usize,
+    pub(crate) work_count: usize,
     errored: Vec<bool>,
-    error_count: usize,
+    pub(crate) error_count: usize,
     /// Scratch for the pump's snapshot of nodes with pending deliveries.
-    pump_scratch: Vec<u32>,
+    pub(crate) pump_scratch: Vec<u32>,
 }
 
 impl EventSched {
     /// Every node starts scheduled for cycle 0 — the first step ticks them
     /// all once, exactly like the naive engine, and the workless ones park.
-    fn new(nodes: &[MdpNode]) -> EventSched {
+    /// `nodes` is the covered slice (ids `base .. base + nodes.len()`).
+    fn new(nodes: &[MdpNode], base: usize) -> EventSched {
         let n = nodes.len();
         let has_work: Vec<bool> = nodes.iter().map(MdpNode::has_work).collect();
         let work_count = has_work.iter().filter(|&&w| w).count();
         EventSched {
-            heap: (0..n as u32).map(|i| Reverse((0, i))).collect(),
+            base,
+            heap: (0..n).map(|i| Reverse((0, (base + i) as u32))).collect(),
             wake_at: vec![0; n],
             idle_since: vec![NOT_IDLE; n],
             has_work,
@@ -140,29 +148,31 @@ impl EventSched {
     }
 
     /// Enters a popped (or parked) node into the heap for cycle `at`.
-    fn schedule(&mut self, i: usize, at: u64) {
-        self.wake_at[i] = at;
+    pub(crate) fn schedule(&mut self, i: usize, at: u64) {
+        self.wake_at[i - self.base] = at;
         self.heap.push(Reverse((at, i as u32)));
     }
 
     /// Wakes a parked node for cycle `at` (no-op if already scheduled),
     /// first repaying the idle cycles it skipped while parked.
-    fn wake(&mut self, node: &mut MdpNode, at: u64) {
+    pub(crate) fn wake(&mut self, node: &mut MdpNode, at: u64) {
         let i = node.id().index();
-        if self.wake_at[i] != PARKED {
+        let l = i - self.base;
+        if self.wake_at[l] != PARKED {
             return;
         }
-        if self.idle_since[i] != NOT_IDLE {
-            node.credit_idle(at - self.idle_since[i]);
-            self.idle_since[i] = NOT_IDLE;
+        if self.idle_since[l] != NOT_IDLE {
+            node.credit_idle(at - self.idle_since[l]);
+            self.idle_since[l] = NOT_IDLE;
         }
         self.schedule(i, at);
     }
 
-    /// Updates the cached `has_work` bit for node `i`.
-    fn set_work(&mut self, i: usize, work: bool) {
-        if self.has_work[i] != work {
-            self.has_work[i] = work;
+    /// Updates the cached `has_work` bit for (global) node `i`.
+    pub(crate) fn set_work(&mut self, i: usize, work: bool) {
+        let l = i - self.base;
+        if self.has_work[l] != work {
+            self.has_work[l] = work;
             if work {
                 self.work_count += 1;
             } else {
@@ -172,11 +182,17 @@ impl EventSched {
     }
 
     /// Latches a node error (once).
-    fn record_error(&mut self, i: usize) {
-        if !self.errored[i] {
-            self.errored[i] = true;
+    pub(crate) fn record_error(&mut self, i: usize) {
+        let l = i - self.base;
+        if !self.errored[l] {
+            self.errored[l] = true;
             self.error_count += 1;
         }
+    }
+
+    /// Earliest scheduled wake-up, `u64::MAX` when every node is parked.
+    pub(crate) fn next_due(&self) -> u64 {
+        self.heap.peek().map_or(u64::MAX, |&Reverse((c, _))| c)
     }
 }
 
@@ -187,7 +203,9 @@ pub struct JMachine {
     nodes: Vec<MdpNode>,
     net: Network,
     cycle: u64,
-    sched: EventSched,
+    /// One scheduler per network shard (a single all-covering instance on
+    /// the sequential engines), mirroring the network's slab layout.
+    scheds: Vec<EventSched>,
     /// Periodic occupancy samples (tracing only).
     samples: Vec<SamplePoint>,
 }
@@ -210,6 +228,19 @@ impl JMachine {
     /// always valid).
     pub fn new(program: Program, config: MachineConfig) -> JMachine {
         program.validate().expect("invalid program image");
+        let mut config = config;
+        if config.trace.enabled && matches!(config.engine, Engine::Parallel(_)) {
+            // Trace ids are injection ordinals from one global counter,
+            // which sharded injection does not maintain. Traced runs fall
+            // back to the event engine — bit-identical by construction, so
+            // the trace describes exactly what the parallel engine would
+            // have simulated.
+            config.engine = Engine::Event;
+        }
+        let shards = match config.engine {
+            Engine::Parallel(threads) => threads.max(1) as usize,
+            Engine::Event | Engine::Naive => 1,
+        };
         let program = Arc::new(program);
         let mut nodes = config
             .dims
@@ -223,21 +254,27 @@ impl JMachine {
                 MdpNode::new(id, config.dims, Arc::clone(&program), config.mdp, start)
             })
             .collect::<Vec<_>>();
-        let mut net = Network::new(config.net);
+        let mut net = Network::with_shards(config.net, shards);
         if config.trace.enabled {
             net.set_tracing(true);
             for node in &mut nodes {
                 node.set_tracing(true);
             }
         }
-        let sched = EventSched::new(&nodes);
+        let scheds = {
+            let (parts, _) = net.shard_parts();
+            parts
+                .iter()
+                .map(|s| EventSched::new(&nodes[s.base()..s.base() + s.len()], s.base()))
+                .collect()
+        };
         JMachine {
             program,
             config,
             nodes,
             net,
             cycle: 0,
-            sched,
+            scheds,
             samples: Vec::new(),
         }
     }
@@ -326,9 +363,10 @@ impl JMachine {
                 "host delivery overflow"
             );
         }
-        if self.config.engine == Engine::Event {
-            self.sched.wake(target, self.cycle);
-            self.sched.set_work(node.index(), target.has_work());
+        if self.config.engine != Engine::Naive {
+            let shard = self.net.shard_of_node(node);
+            self.scheds[shard].wake(target, cycle);
+            self.scheds[shard].set_work(node.index(), target.has_work());
         }
     }
 
@@ -362,7 +400,7 @@ impl JMachine {
     pub fn step(&mut self) {
         match self.config.engine {
             Engine::Naive => self.step_naive(),
-            Engine::Event => self.step_event(),
+            Engine::Event | Engine::Parallel(_) => self.step_sharded(),
         }
         if self.config.trace.enabled && self.cycle.is_multiple_of(self.config.trace.sample_every) {
             self.record_sample();
@@ -413,93 +451,105 @@ impl JMachine {
         self.cycle += 1;
     }
 
-    /// Event engine: touch only nodes that can act this cycle. Cycle-exact
-    /// with [`Self::step_naive`] — skipped nodes are exactly those whose
-    /// naive tick would be a no-op (still busy) or a pure idle count
-    /// (repaid on wake-up), and skipped routers hold no flits.
-    fn step_event(&mut self) {
+    /// Event/parallel engine step: touch only nodes that can act this
+    /// cycle, shard by shard. Cycle-exact with [`Self::step_naive`] —
+    /// skipped nodes are exactly those whose naive tick would be a no-op
+    /// (still busy) or a pure idle count (repaid on wake-up), and skipped
+    /// routers hold no flits. With one shard (the event engine) this is the
+    /// classic event-driven step; with several it is the *same* per-shard
+    /// code the worker threads run, driven sequentially — which is why
+    /// single-cycle stepping of a parallel-configured machine needs no
+    /// threads and stays bit-identical.
+    fn step_sharded(&mut self) {
         let now = self.cycle;
-        // 1. Pump — only nodes the network flagged as holding deliveries.
-        //    The ascending-id snapshot mirrors the naive 0..n scan order
-        //    (node id order; nothing a pump does affects another node).
-        let mut pending = std::mem::take(&mut self.sched.pump_scratch);
-        pending.clear();
-        pending.extend(self.net.pending_nodes().map(|id| id.0));
-        for &n in &pending {
-            let id = NodeId(n);
-            let node = &mut self.nodes[id.index()];
-            let mut delivered = false;
-            for priority in MsgPriority::ALL {
-                while let Some((word, trace)) = self.net.delivered_front_traced(id, priority) {
-                    if node.deliver_traced(priority, word, trace, now) {
-                        self.net.pop_delivered(id, priority);
-                        delivered = true;
-                    } else {
-                        break; // queue full: backpressure
-                    }
-                }
-            }
-            if delivered {
-                self.sched.wake(node, now);
-                self.sched.set_work(id.index(), node.has_work());
+        let (shards, edges) = self.net.shard_parts();
+        for (k, shard) in shards.iter_mut().enumerate() {
+            let (below, above) = jm_net::edge_pair(edges, k);
+            let nodes = &mut self.nodes[shard.base()..shard.base() + shard.len()];
+            crate::parallel::shard_cycle(now, shard, &mut self.scheds[k], nodes, below, above);
+        }
+        if shards.len() > 1 {
+            for (k, shard) in shards.iter_mut().enumerate() {
+                let (below, above) = jm_net::edge_pair(edges, k);
+                shard.exchange(below, above);
             }
         }
-        self.sched.pump_scratch = pending;
-        // 2. Execute every node due this cycle. Pop order within a cycle is
-        //    irrelevant: a node's tick touches only its own state and its
-        //    own injection FIFO.
-        while let Some(&Reverse((c, i))) = self.sched.heap.peek() {
-            if c > now {
-                break;
-            }
-            self.sched.heap.pop();
-            let i = i as usize;
-            if self.sched.wake_at[i] != c {
-                continue; // superseded entry
-            }
-            self.sched.wake_at[i] = PARKED;
-            let node = &mut self.nodes[i];
-            let mut port = Port {
-                net: &mut self.net,
-                node: node.id(),
-            };
-            match node.tick(now, &mut port) {
-                TickOutcome::Busy { until } => self.sched.schedule(i, until.max(now + 1)),
-                TickOutcome::Idle => self.sched.idle_since[i] = now + 1,
-                TickOutcome::Stopped => {
-                    if node.error().is_some() {
-                        self.sched.record_error(i);
-                    }
-                }
-            }
-            self.sched.set_work(i, self.nodes[i].has_work());
-        }
-        // 3. Move the network (O(1) when no flits are buffered).
-        self.net.step();
         self.cycle += 1;
     }
 
-    /// Event engine: jumps the clock to the next cycle where anything can
-    /// happen (earliest scheduled wake-up), bounded by `limit`. Legal only
-    /// while the network is idle — every skipped cycle is then provably a
-    /// no-op for every component except idle accounting, which is repaid on
-    /// wake-up or virtually in [`Self::stats`].
+    /// Jumps the clock to the next cycle where anything can happen
+    /// (earliest scheduled wake-up across all shards), bounded by `limit`.
+    /// Legal only while the network is idle — every skipped cycle is then
+    /// provably a no-op for every component except idle accounting, which
+    /// is repaid on wake-up or virtually in [`Self::stats`].
     fn fast_forward(&mut self, limit: u64) {
         if !self.net.is_idle() {
             return;
         }
-        let target = match self.sched.heap.peek() {
-            Some(&Reverse((c, _))) => c.min(limit),
-            None => limit,
-        };
+        let next = self
+            .scheds
+            .iter()
+            .map(EventSched::next_due)
+            .min()
+            .unwrap_or(u64::MAX);
+        let target = next.min(limit);
         if target > self.cycle {
             self.net.skip_to(target);
             self.cycle = target;
         }
     }
 
+    /// Hands the machine to one worker thread per shard until the
+    /// coordinator stops them (see [`crate::parallel`]), then resyncs the
+    /// machine clock. Only called with more than one shard.
+    fn drive_parallel(&mut self, mode: crate::parallel::Mode) {
+        let start = self.cycle;
+        let (shards, edges) = self.net.shard_parts();
+        let ctl = crate::parallel::ParallelCtl::new(shards.len(), mode);
+        let mut workers = Vec::with_capacity(shards.len());
+        let mut nodes_rest: &mut [MdpNode] = &mut self.nodes;
+        let mut scheds_rest: &mut [EventSched] = &mut self.scheds;
+        for (k, shard) in shards.iter_mut().enumerate() {
+            let (nodes, rest) = std::mem::take(&mut nodes_rest).split_at_mut(shard.len());
+            nodes_rest = rest;
+            let (sched, rest) = std::mem::take(&mut scheds_rest)
+                .split_first_mut()
+                .expect("one scheduler per shard");
+            scheds_rest = rest;
+            workers.push(crate::parallel::ShardWorker {
+                k,
+                shard,
+                sched,
+                nodes,
+            });
+        }
+        std::thread::scope(|scope| {
+            let ctl = &ctl;
+            let mut workers = workers.into_iter();
+            let mine = workers.next().expect("at least one shard");
+            for worker in workers {
+                scope.spawn(move || crate::parallel::worker_loop(worker, edges, ctl, start));
+            }
+            // The calling thread drives shard 0 instead of idling.
+            crate::parallel::worker_loop(mine, edges, ctl, start);
+        });
+        self.cycle = ctl.final_cycle();
+    }
+
+    /// Whether this machine runs multi-threaded (parallel engine with more
+    /// than one shard — a 1-thread parallel machine degenerates to the
+    /// event engine's sequential path).
+    fn threaded(&self) -> bool {
+        matches!(self.config.engine, Engine::Parallel(_)) && self.net.shard_count() > 1
+    }
+
     /// Runs for a fixed number of cycles.
     pub fn run(&mut self, cycles: u64) {
+        if self.threaded() && cycles > 0 && !self.config.trace.enabled {
+            let deadline = self.cycle.saturating_add(cycles);
+            self.drive_parallel(crate::parallel::Mode::Fixed { deadline });
+            return;
+        }
         for _ in 0..cycles {
             self.step();
         }
@@ -510,8 +560,10 @@ impl JMachine {
     /// counters); a full scan on the naive engine.
     pub fn is_quiescent(&self) -> bool {
         match self.config.engine {
-            Engine::Event => self.sched.work_count == 0 && self.net.is_idle(),
             Engine::Naive => self.net.is_idle() && self.nodes.iter().all(|n| !n.has_work()),
+            Engine::Event | Engine::Parallel(_) => {
+                self.scheds.iter().all(|s| s.work_count == 0) && self.net.is_idle()
+            }
         }
     }
 
@@ -526,16 +578,18 @@ impl JMachine {
     /// Whether any node stopped with an error (O(1) on the event engine).
     fn any_node_error(&self) -> bool {
         match self.config.engine {
-            Engine::Event => self.sched.error_count > 0,
             Engine::Naive => self.nodes.iter().any(|n| n.error().is_some()),
+            Engine::Event | Engine::Parallel(_) => self.scheds.iter().any(|s| s.error_count > 0),
         }
     }
 
     /// Nodes that still have runnable or queued work.
     fn busy_nodes(&self) -> u32 {
         match self.config.engine {
-            Engine::Event => self.sched.work_count as u32,
             Engine::Naive => self.nodes.iter().filter(|n| n.has_work()).count() as u32,
+            Engine::Event | Engine::Parallel(_) => {
+                self.scheds.iter().map(|s| s.work_count as u32).sum()
+            }
         }
     }
 
@@ -577,11 +631,18 @@ impl JMachine {
                     in_flight: self.net.in_flight(),
                 });
             }
-            if self.config.engine == Engine::Event {
+            if self.config.engine != Engine::Naive {
                 self.fast_forward(deadline);
                 if self.cycle >= deadline {
                     continue; // skipped straight to the budget: time out
                 }
+            }
+            if self.threaded() {
+                // Run threaded until the coordinator hits one of this
+                // loop's stop conditions (its decision rule mirrors the
+                // checks above exactly), then loop around to classify it.
+                self.drive_parallel(crate::parallel::Mode::Quiescent { deadline });
+                continue;
             }
             self.step();
         }
@@ -596,19 +657,22 @@ impl JMachine {
     /// exactly that idle residue until the node next wakes.
     pub fn stats(&self) -> MachineStats {
         let mut nodes = jm_mdp::NodeStats::default();
-        for (i, node) in self.nodes.iter().enumerate() {
+        for node in &self.nodes {
             nodes.merge(node.stats());
-            if self.config.engine == Engine::Event {
-                let since = self.sched.idle_since[i];
-                if since != NOT_IDLE && self.cycle > since {
-                    nodes.add_cycles(StatClass::Idle, self.cycle - since);
+        }
+        if self.config.engine != Engine::Naive {
+            for sched in &self.scheds {
+                for &since in &sched.idle_since {
+                    if since != NOT_IDLE && self.cycle > since {
+                        nodes.add_cycles(StatClass::Idle, self.cycle - since);
+                    }
                 }
             }
         }
         MachineStats {
             cycles: self.cycle,
             nodes,
-            net: self.net.stats().clone(),
+            net: self.net.stats(),
         }
     }
 

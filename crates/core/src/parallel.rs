@@ -1,0 +1,344 @@
+//! Deterministic multi-threaded execution of a sharded machine.
+//!
+//! One worker thread per network shard (z-slab); each worker owns its slab's
+//! routers, its nodes, and their scheduler. A simulated cycle is two phases
+//! separated by barriers:
+//!
+//! 1. **Step** ([`shard_cycle`]): the worker pumps its slab's ejection
+//!    FIFOs, ticks its due nodes, and steps its routers against the
+//!    *immutable* boundary-space snapshots published last cycle. Writes to
+//!    other shards go to edge mailboxes only.
+//! 2. **Exchange**: the worker drains mailboxes addressed to it, publishes
+//!    fresh boundary snapshots, and posts its status (work count, errors,
+//!    net-idle, next wake-up) to the control block. The last thread through
+//!    the second barrier runs the coordinator decision — continue, skip
+//!    idle cycles, or stop — which every worker then obeys.
+//!
+//! Determinism: phase 1 reads no data another worker writes during phase 1
+//! (`jm_net::NetShard` documents why boundary space and deferred mailbox
+//! delivery are scan-order-independent), phase 2 touches only shard-own
+//! state plus mailboxes/snapshots with a single deterministic writer, and
+//! the coordinator reduces shard statuses in fixed order. Thread count and
+//! OS scheduling therefore cannot change any observable value — the
+//! equivalence suite runs the same workloads at 1, 2, and 4 threads against
+//! the sequential engines and demands bit-identical results.
+//!
+//! Idle-cycle skipping composes with sharding: when every shard reports an
+//! idle network, the coordinator jumps the global clock to the minimum
+//! wake-up cycle across shards (bounded by the deadline), exactly mirroring
+//! the sequential engine's `fast_forward`.
+
+use crate::machine::{EventSched, PARKED};
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::NodeId;
+use jm_isa::word::Word;
+use jm_mdp::{InjectAck, MdpNode, NetPort, TickOutcome};
+use jm_net::{edge_pair, Edge, InjectResult, NetShard};
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::SeqCst};
+
+/// Adapter giving one node's `SEND` instructions access to its shard's
+/// injection port (the shard-local sibling of the machine-level `Port`).
+struct ShardPort<'a> {
+    shard: &'a mut NetShard,
+    node: NodeId,
+}
+
+impl NetPort for ShardPort<'_> {
+    fn commit(&mut self, priority: MsgPriority, words: &[Word]) -> InjectAck {
+        match self.shard.commit_msg(self.node, priority, words) {
+            InjectResult::Accepted => InjectAck::Accepted,
+            InjectResult::Stall => InjectAck::Stall,
+            InjectResult::BadRoute => InjectAck::Rejected,
+        }
+    }
+}
+
+/// Phase 1 for one shard: pump deliveries, tick due nodes, step routers.
+/// `nodes` is the slab's slice of the machine's node array (local indexing);
+/// `sched` is the slab's scheduler (global ids in its heap). Also the body
+/// of the sequential event engine's step — `Engine::Event` is exactly this
+/// with one all-covering shard, which is how the engines stay identical by
+/// construction.
+pub(crate) fn shard_cycle(
+    now: u64,
+    shard: &mut NetShard,
+    sched: &mut EventSched,
+    nodes: &mut [MdpNode],
+    below: Option<&Edge>,
+    above: Option<&Edge>,
+) {
+    let base = shard.base();
+    // 1. Pump — only nodes the shard flagged as holding deliveries. The
+    //    ascending-id snapshot mirrors the naive 0..n scan order (nothing a
+    //    pump does affects another node).
+    let mut pending = std::mem::take(&mut sched.pump_scratch);
+    pending.clear();
+    pending.extend(shard.pending_nodes().map(|id| id.0));
+    for &n in &pending {
+        let id = NodeId(n);
+        let node = &mut nodes[id.index() - base];
+        let mut delivered = false;
+        for priority in MsgPriority::ALL {
+            while let Some((word, trace)) = shard.delivered_front_traced(id, priority) {
+                if node.deliver_traced(priority, word, trace, now) {
+                    shard.pop_delivered(id, priority);
+                    delivered = true;
+                } else {
+                    break; // queue full: backpressure
+                }
+            }
+        }
+        if delivered {
+            sched.wake(node, now);
+            sched.set_work(id.index(), node.has_work());
+        }
+    }
+    sched.pump_scratch = pending;
+    // 2. Execute every node due this cycle. Pop order within a cycle is
+    //    irrelevant: a node's tick touches only its own state and its own
+    //    injection FIFO.
+    while let Some(&Reverse((c, i))) = sched.heap.peek() {
+        if c > now {
+            break;
+        }
+        sched.heap.pop();
+        let i = i as usize;
+        let l = i - base;
+        if sched.wake_at[l] != c {
+            continue; // superseded entry
+        }
+        sched.wake_at[l] = PARKED;
+        let node = &mut nodes[l];
+        let mut port = ShardPort {
+            shard: &mut *shard,
+            node: node.id(),
+        };
+        match node.tick(now, &mut port) {
+            TickOutcome::Busy { until } => sched.schedule(i, until.max(now + 1)),
+            TickOutcome::Idle => sched.idle_since[l] = now + 1,
+            TickOutcome::Stopped => {
+                if node.error().is_some() {
+                    sched.record_error(i);
+                }
+            }
+        }
+        sched.set_work(i, nodes[l].has_work());
+    }
+    // 3. Move this shard's routers (O(1) when no flits are buffered).
+    shard.step_cycle(below, above);
+}
+
+/// Sense-reversing spin barrier. The last arriver may run a closure (the
+/// coordinator's serial section) before releasing the others. Spinning
+/// yields to the OS after a short burst so the scheme stays live even with
+/// fewer cores than workers.
+pub(crate) struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicU64,
+}
+
+impl SpinBarrier {
+    pub(crate) fn new(n: usize) -> SpinBarrier {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Waits for all `n` workers; the last one runs `serial` before
+    /// releasing the rest.
+    pub(crate) fn wait_with(&self, serial: impl FnOnce()) {
+        let generation = self.generation.load(SeqCst);
+        if self.count.fetch_add(1, SeqCst) + 1 == self.n {
+            serial();
+            // Reset the count *before* bumping the generation: a released
+            // worker may re-arrive at the next barrier immediately, and its
+            // increment must start from zero. A straggler still spinning on
+            // the old generation has already contributed its increment, and
+            // the next round cannot complete without its new arrival.
+            self.count.store(0, SeqCst);
+            self.generation.fetch_add(1, SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(SeqCst) == generation {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// What the machine is driving toward.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Mode {
+    /// `run(cycles)`: step to the deadline, no other checks.
+    Fixed {
+        /// Absolute cycle to stop at.
+        deadline: u64,
+    },
+    /// `run_until_quiescent`: stop on error, quiescence, or the deadline;
+    /// skip idle stretches.
+    Quiescent {
+        /// Absolute cycle of the budget.
+        deadline: u64,
+    },
+}
+
+/// Coordinator decisions, encoded in [`ParallelCtl::kind`].
+const CONTINUE: u8 = 0;
+const SKIP: u8 = 1;
+const STOP: u8 = 2;
+
+/// Per-shard status published at the end of every cycle, aligned out so two
+/// workers never share a cache line.
+#[repr(align(128))]
+pub(crate) struct ShardStatus {
+    work: AtomicUsize,
+    errors: AtomicUsize,
+    net_idle: AtomicBool,
+    next_wake: AtomicU64,
+}
+
+impl ShardStatus {
+    fn new() -> ShardStatus {
+        ShardStatus {
+            work: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+            net_idle: AtomicBool::new(false),
+            next_wake: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared control block for one parallel drive: the two per-cycle barriers,
+/// per-shard statuses, and the coordinator's decision.
+pub(crate) struct ParallelCtl {
+    barrier: SpinBarrier,
+    status: Vec<ShardStatus>,
+    mode: Mode,
+    /// Decision kind for the cycle just decided.
+    kind: AtomicU8,
+    /// Decision cycle: the skip target, or the cycle execution stopped at.
+    target: AtomicU64,
+}
+
+impl ParallelCtl {
+    pub(crate) fn new(shards: usize, mode: Mode) -> ParallelCtl {
+        ParallelCtl {
+            barrier: SpinBarrier::new(shards),
+            status: (0..shards).map(|_| ShardStatus::new()).collect(),
+            mode,
+            kind: AtomicU8::new(CONTINUE),
+            target: AtomicU64::new(0),
+        }
+    }
+
+    /// The cycle the machine stopped at (valid after the drive returns).
+    pub(crate) fn final_cycle(&self) -> u64 {
+        self.target.load(SeqCst)
+    }
+
+    /// Serial coordinator section, run by the last worker through the
+    /// end-of-cycle barrier. `c` is the cycle about to run. Reduces shard
+    /// statuses in fixed order and mirrors the sequential
+    /// `run_until_quiescent` loop head exactly: stop on error, quiescence,
+    /// or deadline; with every shard's network idle, skip to the earliest
+    /// wake-up (a skip that reaches the deadline stops there — the
+    /// sequential engine times out on the next iteration without stepping).
+    fn decide(&self, c: u64) {
+        let mut work = 0usize;
+        let mut errors = 0usize;
+        let mut idle = true;
+        let mut wake = u64::MAX;
+        for status in &self.status {
+            work += status.work.load(SeqCst);
+            errors += status.errors.load(SeqCst);
+            idle &= status.net_idle.load(SeqCst);
+            wake = wake.min(status.next_wake.load(SeqCst));
+        }
+        let (kind, target) = match self.mode {
+            Mode::Fixed { deadline } => {
+                if c >= deadline {
+                    (STOP, c)
+                } else {
+                    (CONTINUE, c)
+                }
+            }
+            Mode::Quiescent { deadline } => {
+                if errors > 0 || (work == 0 && idle) || c >= deadline {
+                    (STOP, c)
+                } else if idle {
+                    let t = wake.min(deadline);
+                    if t >= deadline {
+                        (STOP, deadline)
+                    } else if t > c {
+                        (SKIP, t)
+                    } else {
+                        (CONTINUE, c)
+                    }
+                } else {
+                    (CONTINUE, c)
+                }
+            }
+        };
+        self.kind.store(kind, SeqCst);
+        self.target.store(target, SeqCst);
+    }
+}
+
+/// One worker's slice of the machine: its shard, scheduler, and nodes.
+pub(crate) struct ShardWorker<'a> {
+    pub(crate) k: usize,
+    pub(crate) shard: &'a mut NetShard,
+    pub(crate) sched: &'a mut EventSched,
+    pub(crate) nodes: &'a mut [MdpNode],
+}
+
+/// Body of one worker thread: run cycles in lockstep with the siblings until
+/// the coordinator stops everyone. Every worker makes the same sequence of
+/// barrier crossings and obeys the same decisions, so no worker can run
+/// ahead or exit early.
+pub(crate) fn worker_loop(w: ShardWorker<'_>, edges: &[Edge], ctl: &ParallelCtl, start: u64) {
+    let (below, above) = edge_pair(edges, w.k);
+    let mut now = start;
+    loop {
+        shard_cycle(now, w.shard, w.sched, w.nodes, below, above);
+        // Barrier 1: every shard finished phase 1 — mailboxes are complete
+        // and nobody reads boundary snapshots anymore this cycle.
+        ctl.barrier.wait_with(|| {});
+        w.shard.exchange(below, above);
+        let status = &ctl.status[w.k];
+        status.work.store(w.sched.work_count, SeqCst);
+        status.errors.store(w.sched.error_count, SeqCst);
+        status.net_idle.store(w.shard.is_idle(), SeqCst);
+        status.next_wake.store(w.sched.next_due(), SeqCst);
+        now += 1;
+        // Barrier 2: every shard finished phase 2; the last arriver decides
+        // what cycle `now` does.
+        ctl.barrier.wait_with(|| ctl.decide(now));
+        match ctl.kind.load(SeqCst) {
+            CONTINUE => {}
+            SKIP => {
+                let t = ctl.target.load(SeqCst);
+                w.shard.skip_to(t);
+                now = t;
+            }
+            _ => {
+                let t = ctl.target.load(SeqCst);
+                if t > now {
+                    // Stop-at-deadline via skip: only issued when every
+                    // shard's network is idle.
+                    w.shard.skip_to(t);
+                }
+                break;
+            }
+        }
+    }
+}

@@ -81,11 +81,17 @@ pub enum FaultKind {
     /// An illegal or privileged instruction (e.g. `RESUME` outside a
     /// handler).
     Illegal = 8,
+    /// The head of a message queue is not a `msg`-tagged header word —
+    /// the queue pointers have desynchronized from the word stream. Unlike
+    /// the other faults this one is not recoverable by a handler: the node
+    /// halts with a machine-level error, and the vector slot exists only so
+    /// the statistics hardware can count occurrences uniformly.
+    QueueDesync = 9,
 }
 
 impl FaultKind {
     /// All faults in vector order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::CFutRead,
         FaultKind::FutUse,
         FaultKind::TagMismatch,
@@ -95,6 +101,7 @@ impl FaultKind {
         FaultKind::QueueOverflow,
         FaultKind::MsgBounds,
         FaultKind::Illegal,
+        FaultKind::QueueDesync,
     ];
 
     /// The word address of this fault's vector.
@@ -116,6 +123,7 @@ impl fmt::Display for FaultKind {
             FaultKind::QueueOverflow => "queue-overflow",
             FaultKind::MsgBounds => "msg-bounds",
             FaultKind::Illegal => "illegal",
+            FaultKind::QueueDesync => "queue-desync",
         };
         f.write_str(name)
     }

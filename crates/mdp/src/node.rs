@@ -501,6 +501,10 @@ impl MdpNode {
         let header = match self.queues[q].header() {
             Some(Ok(h)) => h,
             Some(Err(w)) => {
+                // Fatal: no handler can run off a desynchronized queue, so
+                // the fault is counted (for the statistics report) and the
+                // node halts with a machine-level error rather than vectoring.
+                self.stats.count_fault(FaultKind::QueueDesync);
                 self.error = Some(NodeError::QueueDesync(w));
                 return;
             }

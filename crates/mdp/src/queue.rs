@@ -198,4 +198,52 @@ mod tests {
         q.push(hdr(1, 3));
         q.pop_msg(3);
     }
+
+    #[test]
+    fn refusal_after_wraparound() {
+        // Drive the ring through a wrap, fill it to capacity, and check the
+        // full queue still refuses (the wrapped fill must not fool the
+        // occupancy accounting into accepting a 5th word into 4 slots).
+        let mut q = MsgQueue::new(4);
+        q.push(hdr(1, 3));
+        q.push(Word::int(10));
+        q.push(Word::int(11));
+        q.pop_msg(3);
+        assert!(q.is_empty());
+        // head = 3: the next message occupies slots 3, 0, 1, 2 (wrapped).
+        assert!(q.push(hdr(2, 4)));
+        assert!(q.push(Word::int(20)));
+        assert!(q.push(Word::int(21)));
+        assert!(q.push(Word::int(22)));
+        assert_eq!(q.len(), q.capacity());
+        assert_eq!(q.head_slot(), 3);
+        assert!(!q.push(Word::int(99)), "wrapped-full queue must refuse");
+        assert_eq!(q.refusals(), 1);
+        assert!(q.head_complete());
+        assert_eq!(q.get(3), Some(Word::int(22)));
+        // Popping the wrapped message frees the ring again.
+        q.pop_msg(4);
+        assert!(q.push(Word::int(30)));
+        assert_eq!(q.refusals(), 1, "refusal count is sticky, not re-counted");
+    }
+
+    #[test]
+    fn read_slot_of_freed_slot_is_none() {
+        let mut q = MsgQueue::new(8);
+        q.push(hdr(1, 2));
+        q.push(Word::int(10));
+        q.push(hdr(2, 2));
+        q.push(Word::int(20));
+        // While the first message is live, its slots read back.
+        assert_eq!(q.read_slot(0), Some(hdr(1, 2)));
+        assert_eq!(q.read_slot(1), Some(Word::int(10)));
+        q.pop_msg(2);
+        // Slots 0 and 1 now sit *behind* the head: a stale descriptor into
+        // the queue window must read as not-arrived, not as old data.
+        assert_eq!(q.read_slot(0), None);
+        assert_eq!(q.read_slot(1), None);
+        // The surviving message's slots still read back.
+        assert_eq!(q.read_slot(2), Some(hdr(2, 2)));
+        assert_eq!(q.read_slot(3), Some(Word::int(20)));
+    }
 }

@@ -50,11 +50,13 @@ mod config;
 mod flit;
 mod network;
 mod router;
+mod shard;
 mod stats;
 
 pub use bitset::BitSet;
 pub use config::NetConfig;
 pub use flit::Flit;
-pub use network::{InjectResult, Network};
+pub use network::Network;
 pub use router::OutPort;
+pub use shard::{edge_pair, Edge, InjectResult, NetShard};
 pub use stats::NetStats;

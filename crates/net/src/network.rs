@@ -1,105 +1,110 @@
-//! The whole-mesh network engine.
+//! The whole-mesh network engine: a facade over one or more z-slab shards.
+//!
+//! With one shard (the default) this is exactly the former monolithic
+//! engine. With more, [`Network::step`] drives the same two-phase cycle the
+//! parallel machine engine runs on worker threads — step every shard, then
+//! exchange boundary flits — so the sharded data path is exercised (and must
+//! stay bit-identical) even in single-threaded use. See [`crate::shard`] for
+//! the phase structure and the determinism argument.
 
-use crate::bitset::BitSet;
 use crate::config::NetConfig;
-use crate::flit::Flit;
-use crate::router::{ecube_route, Router, IN_INJECT, OUT_EJECT};
+use crate::shard::{edge_pair, Edge, InjectResult, NetShard};
 use crate::stats::NetStats;
 use jm_isa::instr::MsgPriority;
-use jm_isa::node::{Coord, NodeId, RouteWord};
-use jm_isa::tag::Tag;
+use jm_isa::node::NodeId;
 use jm_isa::word::Word;
 use jm_isa::TraceId;
-use jm_trace::{Event, EventKind, Tracer};
-
-/// Result of offering one word to the injection port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InjectResult {
-    /// The word was accepted.
-    Accepted,
-    /// The injection FIFO is full — on the MDP this surfaces as a *send
-    /// fault* in the executing thread, which retries (§4.3.2).
-    Stall,
-    /// Framing error: the first word of a message must be a `route` word
-    /// naming an in-range destination, and a message must contain at least
-    /// one payload word.
-    BadRoute,
-}
+use jm_trace::{Event, Tracer};
 
 /// The 3-D mesh network: one router per node, stepped one cycle at a time.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Network {
     config: NetConfig,
-    routers: Vec<Router>,
-    cycle: u64,
-    stats: NetStats,
-    /// Dimension bisected for traffic accounting (0 = x, 1 = y, 2 = z).
-    bisect_dim: usize,
-    /// Crossing boundary: between coordinates `mid - 1` and `mid`.
-    bisect_mid: u8,
-    /// Flits currently inside buffers (not yet ejected).
-    in_flight: u64,
-    /// Routers with `occupancy > 0` — the only ones `step` must visit.
-    active: BitSet,
-    /// Routers holding undelivered ejected words (either vnet).
-    eject_pending: BitSet,
-    /// Scratch buffer for the active-set snapshot taken by `step`.
-    scratch: Vec<u32>,
-    /// Lifecycle-event buffer; `None` (the default) disables tracing, so
-    /// the hot paths pay one pointer test.
-    tracer: Option<Box<Tracer>>,
+    shards: Vec<NetShard>,
+    edges: Vec<Edge>,
 }
 
 impl Network {
-    /// Creates an idle network.
+    /// Creates an idle network as a single shard.
     pub fn new(config: NetConfig) -> Network {
+        Network::with_shards(config, 1)
+    }
+
+    /// Creates an idle network cut into (up to) `shards` contiguous z-slabs.
+    /// The count is clamped to the z extent; slab sizes differ by at most
+    /// one plane. Observable behavior is independent of the cut — sharding
+    /// only decides what can be stepped concurrently.
+    pub fn with_shards(config: NetConfig, shards: usize) -> Network {
         let dims = config.dims;
-        let routers = dims
-            .iter_nodes()
-            .map(|id| Router::new(dims.coord(id)))
-            .collect();
         let extents = [dims.x, dims.y, dims.z];
         let bisect_dim = (0..3).max_by_key(|&d| extents[d]).unwrap();
-        let nodes = dims.nodes() as usize;
+        let bisect_mid = extents[bisect_dim] / 2;
+        let plane = dims.x as usize * dims.y as usize;
+        let z = dims.z as usize;
+        let count = shards.clamp(1, z);
+        let mut parts = Vec::with_capacity(count);
+        let mut cuts = Vec::new();
+        for k in 0..count {
+            let z_lo = k * z / count;
+            let z_hi = (k + 1) * z / count;
+            parts.push(NetShard::new(
+                config,
+                z_lo * plane,
+                (z_hi - z_lo) * plane,
+                bisect_dim,
+                bisect_mid,
+            ));
+            if k + 1 < count {
+                cuts.push(Edge::new(plane, config.flit_buffer));
+            }
+        }
         Network {
             config,
-            routers,
-            cycle: 0,
-            stats: NetStats::default(),
-            bisect_dim,
-            bisect_mid: extents[bisect_dim] / 2,
-            in_flight: 0,
-            active: BitSet::new(nodes),
-            eject_pending: BitSet::new(nodes),
-            scratch: Vec::new(),
-            tracer: None,
+            shards: parts,
+            edges: cuts,
         }
     }
 
     /// Turns lifecycle tracing on or off. While on, every accepted message
     /// is assigned a [`TraceId`] (its 1-based injection ordinal) and the
     /// network emits inject / per-hop / deliver events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if enabled on a multi-shard network: trace ids are injection
+    /// ordinals from a single counter, which sharded injection does not
+    /// maintain (the machine falls back to a sequential engine for traced
+    /// runs).
     pub fn set_tracing(&mut self, on: bool) {
-        self.tracer = if on {
-            Some(Box::new(Tracer::new()))
-        } else {
-            None
-        };
+        assert!(
+            !on || self.shards.len() == 1,
+            "lifecycle tracing requires a single-shard network"
+        );
+        for shard in &mut self.shards {
+            shard.tracer = None;
+        }
+        if on {
+            self.shards[0].tracer = Some(Box::new(Tracer::new()));
+        }
     }
 
     /// Whether lifecycle tracing is on.
     pub fn tracing(&self) -> bool {
-        self.tracer.is_some()
+        self.shards.iter().any(|s| s.tracer.is_some())
     }
 
     /// Drains the buffered lifecycle events (empty when tracing is off).
     pub fn take_trace_events(&mut self) -> Vec<Event> {
-        self.tracer.as_mut().map(|t| t.take()).unwrap_or_default()
+        let mut events = Vec::new();
+        for shard in &mut self.shards {
+            events.extend(shard.take_trace_events());
+        }
+        events
     }
 
     /// Routers currently holding buffered flits.
     pub fn active_routers(&self) -> u32 {
-        self.active.count() as u32
+        self.shards.iter().map(NetShard::active_count).sum()
     }
 
     /// The network configuration.
@@ -109,24 +114,31 @@ impl Network {
 
     /// The current cycle number.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        // Shards advance in lockstep; outside the two tick phases every
+        // counter agrees.
+        self.shards[0].cycle()
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &NetStats {
-        &self.stats
+    /// Accumulated statistics, reduced over shards in fixed (ascending slab)
+    /// order.
+    pub fn stats(&self) -> NetStats {
+        let mut total = NetStats::default();
+        for shard in &self.shards {
+            total.merge(shard.stats());
+        }
+        total
     }
 
     /// Flits currently buffered anywhere in the network (excluding ejected
     /// words awaiting the node).
     pub fn in_flight(&self) -> u64 {
-        self.in_flight
+        self.shards.iter().map(NetShard::in_flight).sum()
     }
 
-    /// Whether the network holds no flits and no undelivered words. O(1):
-    /// both quantities are tracked incrementally.
+    /// Whether the network holds no flits and no undelivered words. O(shards):
+    /// each shard tracks both quantities incrementally.
     pub fn is_idle(&self) -> bool {
-        self.in_flight == 0 && self.eject_pending.is_empty()
+        self.shards.iter().all(NetShard::is_idle)
     }
 
     /// Nodes currently holding undelivered ejected words, in ascending id
@@ -135,7 +147,9 @@ impl Network {
     /// whose earlier deliveries have not been fully consumed, e.g. under
     /// queue backpressure).
     pub fn pending_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.eject_pending.iter().map(|i| NodeId(i as u32))
+        // Shards hold disjoint ascending id ranges, so chaining in slab
+        // order preserves global ascending order.
+        self.shards.iter().flat_map(NetShard::pending_nodes)
     }
 
     /// Advances the cycle counter to `cycle` without simulating the
@@ -148,8 +162,33 @@ impl Network {
     ///
     /// Debug builds panic if flits are in flight.
     pub fn skip_to(&mut self, cycle: u64) {
-        debug_assert_eq!(self.in_flight, 0, "skip_to with flits in flight");
-        self.cycle = self.cycle.max(cycle);
+        for shard in &mut self.shards {
+            shard.skip_to(cycle);
+        }
+    }
+
+    /// The number of z-slab shards the mesh is cut into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Index of the shard owning `node`.
+    pub fn shard_of_node(&self, node: NodeId) -> usize {
+        let index = node.index();
+        self.shards.partition_point(|s| s.base() + s.len() <= index)
+    }
+
+    /// Splits the network into its shards and edges so callers (the parallel
+    /// machine engine) can hand each shard to its own worker while all
+    /// workers share the edge interfaces.
+    pub fn shard_parts(&mut self) -> (&mut [NetShard], &[Edge]) {
+        (&mut self.shards, &self.edges)
+    }
+
+    #[inline]
+    fn shard_for(&mut self, node: NodeId) -> &mut NetShard {
+        let k = self.shard_of_node(node);
+        &mut self.shards[k]
     }
 
     /// Offers one word to a node's injection port.
@@ -162,148 +201,19 @@ impl Network {
         word: Word,
         end: bool,
     ) -> InjectResult {
-        let cycle = self.cycle;
-        let inject_latency = self.config.inject_latency;
-        let fifo_cap = self.config.inject_fifo;
-        let dims = self.config.dims;
-        let router = &mut self.routers[node.index()];
-        let vnet = priority.index();
-        if router.inputs[vnet][IN_INJECT].len() + 2 > fifo_cap {
-            return InjectResult::Stall;
-        }
-        let framing = &mut router.inject[vnet];
-        let (dest, is_route, head_word) = match framing.dest {
-            None => {
-                if word.tag() != Tag::Route || end {
-                    return InjectResult::BadRoute;
-                }
-                let dest = RouteWord::from_word(word).dest;
-                if dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z {
-                    return InjectResult::BadRoute;
-                }
-                framing.dest = Some(dest);
-                framing.msg_start = cycle;
-                self.stats.injected_msgs += 1;
-                framing.trace = match &mut self.tracer {
-                    Some(tracer) => {
-                        let id = TraceId(self.stats.injected_msgs);
-                        tracer.emit(
-                            cycle,
-                            EventKind::Inject {
-                                id,
-                                src: node,
-                                dst: dims.id(dest),
-                                priority,
-                                words: 0,
-                            },
-                        );
-                        id
-                    }
-                    None => TraceId::NONE,
-                };
-                (dest, true, true)
-            }
-            Some(dest) => {
-                if end {
-                    framing.dest = None;
-                }
-                (dest, false, false)
-            }
-        };
-        let msg_start = router.inject[vnet].msg_start;
-        let trace = router.inject[vnet].trace;
-        let pair = Flit::pair_for_word(
-            dest,
-            word,
-            is_route,
-            head_word,
-            end,
-            priority,
-            msg_start,
-            cycle + inject_latency,
-            trace,
-        );
-        for flit in pair {
-            router.inputs[vnet][IN_INJECT].push_back(flit);
-        }
-        router.occupancy += 2;
-        self.in_flight += 2;
-        self.active.insert(node.index());
-        InjectResult::Accepted
+        self.shard_for(node).inject(node, priority, word, end)
     }
 
     /// Atomically offers a whole message to a node's injection port: the
     /// route word followed by at least one payload word. Either every word
-    /// is accepted or none is (the network interface composes messages in a
-    /// per-thread buffer and launches them whole, so a preempting handler
-    /// can never interleave words into an open message).
+    /// is accepted or none is.
     pub fn commit_msg(
         &mut self,
         node: NodeId,
         priority: MsgPriority,
         words: &[Word],
     ) -> InjectResult {
-        let cycle = self.cycle;
-        let inject_latency = self.config.inject_latency;
-        let fifo_cap = self.config.inject_fifo;
-        let dims = self.config.dims;
-        let vnet = priority.index();
-        // Framing checks first.
-        if words.len() < 2 || words[0].tag() != Tag::Route {
-            return InjectResult::BadRoute;
-        }
-        let dest = RouteWord::from_word(words[0]).dest;
-        if dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z {
-            return InjectResult::BadRoute;
-        }
-        let router = &mut self.routers[node.index()];
-        if router.inject[vnet].dest.is_some() {
-            // A word-wise injection is mid-message on this port; mixing
-            // the two APIs is a programming error.
-            return InjectResult::BadRoute;
-        }
-        let needed = 2 * words.len();
-        if router.inputs[vnet][IN_INJECT].len() + needed > fifo_cap {
-            return InjectResult::Stall;
-        }
-        self.stats.injected_msgs += 1;
-        let trace = match &mut self.tracer {
-            Some(tracer) => {
-                let id = TraceId(self.stats.injected_msgs);
-                tracer.emit(
-                    cycle,
-                    EventKind::Inject {
-                        id,
-                        src: node,
-                        dst: dims.id(dest),
-                        priority,
-                        words: words.len() as u32 - 1,
-                    },
-                );
-                id
-            }
-            None => TraceId::NONE,
-        };
-        for (i, &word) in words.iter().enumerate() {
-            let pair = Flit::pair_for_word(
-                dest,
-                word,
-                i == 0,
-                i == 0,
-                i + 1 == words.len(),
-                priority,
-                cycle,
-                cycle + inject_latency,
-                trace,
-            );
-            for flit in pair {
-                router.inputs[vnet][IN_INJECT].push_back(flit);
-            }
-        }
-        router.occupancy += needed as u32;
-        self.in_flight += needed as u64;
-        self.active.insert(node.index());
-        InjectResult::Accepted
+        self.shard_for(node).commit_msg(node, priority, words)
     }
 
     /// Next delivered payload word for a node, if any (peek).
@@ -318,210 +228,35 @@ impl Network {
         node: NodeId,
         priority: MsgPriority,
     ) -> Option<(Word, TraceId)> {
-        self.routers[node.index()].ejected[priority.index()]
-            .front()
-            .copied()
+        self.shards[self.shard_of_node(node)].delivered_front_traced(node, priority)
     }
 
     /// Pops the next delivered payload word for a node.
     pub fn pop_delivered(&mut self, node: NodeId, priority: MsgPriority) -> Option<Word> {
-        let router = &mut self.routers[node.index()];
-        let word = router.ejected[priority.index()].pop_front().map(|(w, _)| w);
-        if word.is_some() && router.ejected[0].is_empty() && router.ejected[1].is_empty() {
-            self.eject_pending.remove(node.index());
-        }
-        word
+        self.shard_for(node).pop_delivered(node, priority)
     }
 
     /// Number of delivered words waiting at a node.
     pub fn delivered_len(&self, node: NodeId, priority: MsgPriority) -> usize {
-        self.routers[node.index()].ejected[priority.index()].len()
+        self.shards[self.shard_of_node(node)].delivered_len(node, priority)
     }
 
-    fn neighbor_id(&self, here: Coord, out: usize) -> NodeId {
-        let mut c = here;
-        match out {
-            0 => c.x += 1,
-            1 => c.x -= 1,
-            2 => c.y += 1,
-            3 => c.y -= 1,
-            4 => c.z += 1,
-            5 => c.z -= 1,
-            _ => unreachable!("eject has no neighbor"),
-        }
-        self.config.dims.id(c)
-    }
-
-    fn crosses_bisection(&self, here: Coord, out: usize) -> bool {
-        if self.bisect_mid == 0 {
-            return false;
-        }
-        let (dim, positive) = match out {
-            0 => (0, true),
-            1 => (0, false),
-            2 => (1, true),
-            3 => (1, false),
-            4 => (2, true),
-            5 => (2, false),
-            _ => return false,
-        };
-        if dim != self.bisect_dim {
-            return false;
-        }
-        let coord = [here.x, here.y, here.z][dim];
-        (positive && coord == self.bisect_mid - 1) || (!positive && coord == self.bisect_mid)
-    }
-
-    /// Advances the network by one cycle: every physical channel moves at
-    /// most one flit, priority-1 traffic first, input ports arbitrated in
-    /// fixed order with injection last.
-    ///
-    /// Only routers in the active set (buffered flits) are visited; an empty
-    /// network steps in O(1). This is cycle-exact with a full ascending scan
-    /// of all routers: inactive routers have nothing to move, and a router
-    /// activated mid-step only holds flits with `ready_cycle == cycle + 1`,
-    /// which the scan would skip anyway.
+    /// Advances the network by one cycle: phase 1 steps every shard, phase 2
+    /// exchanges boundary flits and republishes boundary space. Sequential
+    /// shard order is immaterial — that is the whole point of the two-phase
+    /// scheme (see [`crate::shard`]).
     pub fn step(&mut self) {
-        if self.in_flight == 0 {
-            self.cycle += 1;
-            return;
+        let count = self.shards.len();
+        for k in 0..count {
+            let (below, above) = edge_pair(&self.edges, k);
+            self.shards[k].step_cycle(below, above);
         }
-        let cycle = self.cycle;
-        let flit_buffer = self.config.flit_buffer;
-        let eject_fifo = self.config.eject_fifo;
-        // Snapshot the active set: flit hand-offs during the loop may
-        // activate routers (harmless to visit or not, see above), and a
-        // drained router leaves the set for future cycles.
-        let mut snapshot = std::mem::take(&mut self.scratch);
-        snapshot.clear();
-        snapshot.extend(self.active.iter().map(|i| i as u32));
-        for &n in &snapshot {
-            let n = n as usize;
-            if self.routers[n].is_idle() {
-                self.active.remove(n);
-                continue;
-            }
-            let here = self.routers[n].coord;
-            let mut in_used = [false; 7];
-            let mut out_used = [false; 7];
-            for &priority in [MsgPriority::P1, MsgPriority::P0].iter() {
-                let vnet = priority.index();
-                #[allow(clippy::needless_range_loop)]
-                for in_port in 0..7 {
-                    if in_used[in_port] {
-                        continue;
-                    }
-                    let Some(&flit) = self.routers[n].inputs[vnet][in_port].front() else {
-                        continue;
-                    };
-                    if flit.ready_cycle > cycle {
-                        continue;
-                    }
-                    let out = ecube_route(here, flit.dest);
-                    if out_used[out] {
-                        continue;
-                    }
-                    match self.routers[n].owners[vnet][out] {
-                        Some(owner) if owner == in_port => {}
-                        Some(_) => continue,
-                        None => {
-                            if !flit.head {
-                                // A body flit whose path was already torn
-                                // down cannot occur under wormhole FIFO
-                                // discipline.
-                                debug_assert!(flit.head, "orphan body flit");
-                                continue;
-                            }
-                        }
-                    }
-                    // Space check downstream.
-                    if out == OUT_EJECT {
-                        if flit.payload.is_some()
-                            && self.routers[n].ejected[vnet].len() >= eject_fifo
-                        {
-                            continue;
-                        }
-                    } else {
-                        let m = self.neighbor_id(here, out).index();
-                        if self.routers[m].space(priority, out, flit_buffer) == 0 {
-                            continue;
-                        }
-                    }
-                    // Commit the move.
-                    let flit = self.routers[n].inputs[vnet][in_port]
-                        .pop_front()
-                        .expect("front checked");
-                    self.routers[n].occupancy -= 1;
-                    in_used[in_port] = true;
-                    out_used[out] = true;
-                    self.routers[n].owners[vnet][out] =
-                        if flit.tail { None } else { Some(in_port) };
-                    if out == OUT_EJECT {
-                        self.in_flight -= 1;
-                        if let Some(word) = flit.payload {
-                            self.routers[n].ejected[vnet].push_back((word, flit.trace));
-                            self.eject_pending.insert(n);
-                            self.stats.delivered_words += 1;
-                            // The message's first payload word (its header)
-                            // reaching the ejection FIFO is the deliver
-                            // event: the MDP dispatches on header arrival
-                            // while the tail may still be streaming in, so
-                            // keying on the tail would let dispatch precede
-                            // delivery.
-                            if let Some(tracer) = &mut self.tracer {
-                                if flit.trace.is_some()
-                                    && self.routers[n].eject_cur[vnet] != flit.trace
-                                {
-                                    self.routers[n].eject_cur[vnet] = flit.trace;
-                                    tracer.emit(
-                                        cycle,
-                                        EventKind::Deliver {
-                                            id: flit.trace,
-                                            node: NodeId(n as u32),
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                        if flit.tail {
-                            self.stats.delivered_msgs += 1;
-                            let latency = (cycle + 1).saturating_sub(flit.inject_cycle);
-                            self.stats.latency_sum += latency;
-                            self.stats.latency_max = self.stats.latency_max.max(latency);
-                        }
-                    } else {
-                        if flit.head {
-                            if let Some(tracer) = &mut self.tracer {
-                                if flit.trace.is_some() {
-                                    tracer.emit(
-                                        cycle,
-                                        EventKind::Hop {
-                                            id: flit.trace,
-                                            node: NodeId(n as u32),
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                        self.stats.flit_hops += 1;
-                        if self.crosses_bisection(here, out) {
-                            self.stats.bisection_flits += 1;
-                        }
-                        let m = self.neighbor_id(here, out).index();
-                        let mut moved = flit;
-                        moved.ready_cycle = cycle + 1;
-                        self.routers[m].inputs[vnet][out].push_back(moved);
-                        self.routers[m].occupancy += 1;
-                        self.active.insert(m);
-                    }
-                }
-            }
-            if self.routers[n].is_idle() {
-                self.active.remove(n);
+        if count > 1 {
+            for k in 0..count {
+                let (below, above) = edge_pair(&self.edges, k);
+                self.shards[k].exchange(below, above);
             }
         }
-        self.scratch = snapshot;
-        self.cycle += 1;
     }
 
     /// Runs `cycles` steps.
@@ -547,7 +282,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jm_isa::node::MeshDims;
+    use jm_isa::node::{Coord, MeshDims, RouteWord};
     use jm_isa::word::MsgHeader;
 
     /// Injects a whole message, pumping the network on FIFO stalls the way
@@ -831,5 +566,76 @@ mod tests {
             .position(|w| *w == short[0])
             .expect("short header delivered");
         assert_eq!(words[pos + 1], short[1]);
+    }
+
+    /// Runs dense all-to-all-ish traffic on a given shard count and returns
+    /// the full observable record: per-cycle per-node delivered words plus
+    /// the final statistics.
+    fn crossing_traffic(shards: usize) -> (Vec<(u64, u32, Word)>, NetStats) {
+        let dims = MeshDims::new(2, 2, 8);
+        let mut net = Network::with_shards(NetConfig::new(dims), shards);
+        let nodes = dims.nodes();
+        // Every node sends a 3-word message to its id mirrored in z (all
+        // messages cross every slab boundary near the middle).
+        for src in 0..nodes {
+            let here = dims.coord(NodeId(src));
+            let to = dims.id(Coord::new(here.x, here.y, dims.z - 1 - here.z));
+            let words = [
+                MsgHeader::new(7, 3).to_word(),
+                Word::int(src as i32),
+                Word::int(-(src as i32)),
+            ];
+            send_msg(&mut net, NodeId(src), to, MsgPriority::P0, &words);
+        }
+        let mut record = Vec::new();
+        for _ in 0..600 {
+            net.step();
+            for n in 0..nodes {
+                while let Some(w) = net.pop_delivered(NodeId(n), MsgPriority::P0) {
+                    record.push((net.cycle(), n, w));
+                }
+            }
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(net.in_flight(), 0, "traffic failed to drain");
+        (record, net.stats())
+    }
+
+    #[test]
+    fn sharding_is_unobservable() {
+        // The slab cut must not change delivery cycles, order, or any
+        // statistic — the two-phase exchange is bit-identical to the
+        // monolithic step.
+        let (record1, stats1) = crossing_traffic(1);
+        assert_eq!(stats1.delivered_msgs, 32);
+        for shards in [2, 3, 4, 8] {
+            let (record, stats) = crossing_traffic(shards);
+            assert_eq!(record, record1, "{shards}-shard record diverged");
+            assert_eq!(stats, stats1, "{shards}-shard stats diverged");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_z_extent() {
+        let net = Network::with_shards(NetConfig::new(MeshDims::new(4, 4, 2)), 16);
+        assert_eq!(net.shard_count(), 2);
+        let net = Network::with_shards(NetConfig::new(MeshDims::new(4, 4, 2)), 0);
+        assert_eq!(net.shard_count(), 1);
+    }
+
+    #[test]
+    fn shard_of_node_matches_slab_ranges() {
+        let mut net = Network::with_shards(NetConfig::new(MeshDims::new(2, 2, 8)), 3);
+        let (shards, edges) = net.shard_parts();
+        assert_eq!(edges.len(), 2);
+        let ranges: Vec<(usize, usize)> = shards.iter().map(|s| (s.base(), s.len())).collect();
+        assert_eq!(ranges.iter().map(|r| r.1).sum::<usize>(), 32);
+        for (k, &(base, len)) in ranges.iter().enumerate() {
+            for id in base..base + len {
+                assert_eq!(net.shard_of_node(NodeId(id as u32)), k);
+            }
+        }
     }
 }

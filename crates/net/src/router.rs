@@ -122,6 +122,14 @@ pub(crate) struct Router {
     pub eject_cur: [TraceId; 2],
     /// Total flits across all input buffers (cheap activity check).
     pub occupancy: u32,
+    /// Cycle at which each input buffer last had a flit popped
+    /// (`[vnet][in_port]`, `u64::MAX` = never). Lets [`Router::space`]
+    /// report *start-of-cycle* occupancy: a slot freed earlier in the same
+    /// cycle is not yet visible to upstream senders, exactly as if every
+    /// router read its neighbors' credits at the cycle boundary. This makes
+    /// the space check independent of router scan order — and therefore of
+    /// how the mesh is sharded across worker threads.
+    pub popped_at: [[u64; IN_PORTS]; 2],
 }
 
 impl Router {
@@ -134,6 +142,7 @@ impl Router {
             inject: Default::default(),
             eject_cur: [TraceId::NONE; 2],
             occupancy: 0,
+            popped_at: [[u64::MAX; IN_PORTS]; 2],
         }
     }
 
@@ -143,10 +152,35 @@ impl Router {
         self.occupancy == 0
     }
 
-    /// Free flit slots in an input buffer.
+    /// Free flit slots in an input buffer *at the start of cycle `cycle`*:
+    /// a flit popped from the buffer earlier in the same cycle still counts
+    /// as occupying its slot (credit updates propagate at cycle boundaries).
+    ///
+    /// Over-capacity occupancy would mean a credit-accounting bug upstream;
+    /// it fails a `debug_assert!` so tests see it loudly (release builds
+    /// saturate to 0, which only ever under-reports space).
     #[inline]
-    pub(crate) fn space(&self, vnet: MsgPriority, in_port: usize, capacity: usize) -> usize {
-        capacity.saturating_sub(self.inputs[vnet.index()][in_port].len())
+    pub(crate) fn space(
+        &self,
+        vnet: MsgPriority,
+        in_port: usize,
+        capacity: usize,
+        cycle: u64,
+    ) -> usize {
+        let buf = &self.inputs[vnet.index()][in_port];
+        // At most one flit crosses a channel per cycle, and its sender
+        // checks space *before* pushing — so when this runs, no same-cycle
+        // push can already sit in the buffer.
+        debug_assert!(
+            buf.back().is_none_or(|f| f.ready_cycle <= cycle),
+            "space read after a same-cycle push"
+        );
+        let occupied = buf.len() + usize::from(self.popped_at[vnet.index()][in_port] == cycle);
+        debug_assert!(
+            occupied <= capacity,
+            "input buffer over capacity: {occupied} > {capacity}"
+        );
+        capacity.saturating_sub(occupied)
     }
 }
 

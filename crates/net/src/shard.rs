@@ -1,0 +1,722 @@
+//! Slab-sharded network state.
+//!
+//! The mesh is split into contiguous z-slabs (node ids are z-major, so each
+//! slab owns a contiguous id range). A [`NetShard`] owns its slab's routers,
+//! ejection FIFOs, and statistics, and can advance one cycle touching only
+//! its own state plus the [`Edge`] interfaces shared with the slabs directly
+//! below and above it. That makes shards safe to step on parallel worker
+//! threads; [`crate::Network`] also drives the same shards sequentially, so
+//! both modes execute literally the same per-cycle code.
+//!
+//! Each simulated cycle is two phases:
+//!
+//! 1. **Step** ([`NetShard::step_cycle`]): every shard moves its own flits.
+//!    A flit bound for a router in another shard is appended to the edge's
+//!    mailbox instead of being pushed into the remote input buffer; space in
+//!    remote boundary buffers is read from the edge's published snapshot.
+//! 2. **Exchange** ([`NetShard::exchange`]): every shard drains the
+//!    mailboxes addressed to it into its boundary input buffers and
+//!    publishes those buffers' free space for its neighbors' next step.
+//!
+//! Determinism: within a cycle, the only cross-router data a step reads is
+//! *downstream input-buffer space*. [`crate::router::Router::space`] reports
+//! start-of-cycle occupancy (same-cycle pops are masked via `popped_at`), and
+//! the edge snapshots are by construction start-of-cycle values — so the
+//! space a sender observes is independent of the order routers are visited,
+//! and therefore of how the mesh is cut into shards or which thread runs
+//! which shard. Deferred mailbox delivery is equally invisible: a flit
+//! handed to a neighbor carries `ready_cycle = cycle + 1`, so no same-cycle
+//! consumer exists. A single barrier between the two phases (provided by the
+//! caller) is the only synchronization the scheme needs; the snapshot is
+//! single-buffered because phase 1 only reads it and phase 2 only writes it.
+
+use crate::bitset::BitSet;
+use crate::config::NetConfig;
+use crate::flit::Flit;
+use crate::router::{ecube_route, Router, IN_INJECT, OUT_EJECT};
+use crate::stats::NetStats;
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::{Coord, NodeId, RouteWord};
+use jm_isa::tag::Tag;
+use jm_isa::word::Word;
+use jm_isa::TraceId;
+use jm_trace::{Event, EventKind, Tracer};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Result of offering one word to the injection port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectResult {
+    /// The word was accepted.
+    Accepted,
+    /// The injection FIFO is full — on the MDP this surfaces as a *send
+    /// fault* in the executing thread, which retries (§4.3.2).
+    Stall,
+    /// Framing error: the first word of a message must be a `route` word
+    /// naming an in-range destination, and a message must contain at least
+    /// one payload word.
+    BadRoute,
+}
+
+/// Output-port index of the +z channel (the only up-crossing direction).
+const OUT_ZPOS: usize = 4;
+/// Output-port index of the −z channel (the only down-crossing direction).
+const OUT_ZNEG: usize = 5;
+
+/// The interface between two vertically adjacent shards: mailboxes carrying
+/// boundary-crossing flits, and published space snapshots for the boundary
+/// input buffers on each side.
+///
+/// Mailbox entries keep the sender's deterministic scan order, and each
+/// mailbox has exactly one writing shard per cycle, so the `Mutex` is
+/// uncontended bookkeeping, not an ordering mechanism.
+#[derive(Debug)]
+pub struct Edge {
+    /// Flits crossing upward (+z out of the shard below), as
+    /// `(global dest id, vnet, flit)`.
+    up: Mutex<Vec<(u32, usize, Flit)>>,
+    /// Flits crossing downward (−z out of the shard above).
+    down: Mutex<Vec<(u32, usize, Flit)>>,
+    /// Free slots, at the start of the coming cycle, in the shard-above's
+    /// lowest-plane `+z` input buffers: `[plane index][vnet]`. Written only
+    /// by the shard above (during its exchange), read only by the shard
+    /// below (during its step) — phases separated by the caller's barrier.
+    up_space: Vec<[AtomicU8; 2]>,
+    /// Free slots in the shard-below's top-plane `−z` input buffers.
+    down_space: Vec<[AtomicU8; 2]>,
+}
+
+impl Edge {
+    /// Creates the edge for a boundary of `plane` node columns, with every
+    /// boundary buffer empty (`capacity` free slots).
+    pub(crate) fn new(plane: usize, capacity: usize) -> Edge {
+        assert!(u8::try_from(capacity).is_ok(), "flit buffer too deep");
+        let fresh = |_| [AtomicU8::new(capacity as u8), AtomicU8::new(capacity as u8)];
+        Edge {
+            up: Mutex::new(Vec::new()),
+            down: Mutex::new(Vec::new()),
+            up_space: (0..plane).map(fresh).collect(),
+            down_space: (0..plane).map(fresh).collect(),
+        }
+    }
+}
+
+/// One contiguous z-slab of the mesh: routers for node ids
+/// `base .. base + len`, plus everything needed to advance them one cycle.
+///
+/// All node-addressed methods take **global** [`NodeId`]s and expect them to
+/// fall inside the slab (debug-asserted).
+#[derive(Debug)]
+pub struct NetShard {
+    config: NetConfig,
+    /// First global node id owned by this shard.
+    base: usize,
+    routers: Vec<Router>,
+    cycle: u64,
+    stats: NetStats,
+    /// Dimension bisected for traffic accounting (0 = x, 1 = y, 2 = z).
+    bisect_dim: usize,
+    /// Crossing boundary: between coordinates `mid - 1` and `mid`.
+    bisect_mid: u8,
+    /// Flits currently buffered in *this shard* (a flit handed to an edge
+    /// mailbox leaves the sender's count and joins the receiver's at drain).
+    in_flight: u64,
+    /// Local router indices with `occupancy > 0` — the only ones
+    /// `step_cycle` must visit.
+    active: BitSet,
+    /// Local router indices holding undelivered ejected words (either vnet).
+    eject_pending: BitSet,
+    /// Scratch buffer for the active-set snapshot taken by `step_cycle`.
+    scratch: Vec<u32>,
+    /// Lifecycle-event buffer; `None` (the default) disables tracing, so
+    /// the hot paths pay one pointer test.
+    pub(crate) tracer: Option<Box<Tracer>>,
+}
+
+impl NetShard {
+    pub(crate) fn new(
+        config: NetConfig,
+        base: usize,
+        len: usize,
+        bisect_dim: usize,
+        bisect_mid: u8,
+    ) -> NetShard {
+        let dims = config.dims;
+        let routers = (base..base + len)
+            .map(|id| Router::new(dims.coord(NodeId(id as u32))))
+            .collect();
+        NetShard {
+            config,
+            base,
+            routers,
+            cycle: 0,
+            stats: NetStats::default(),
+            bisect_dim,
+            bisect_mid,
+            in_flight: 0,
+            active: BitSet::new(len),
+            eject_pending: BitSet::new(len),
+            scratch: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// First global node id owned by this shard.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of nodes (routers) owned by this shard.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Whether the shard owns no routers (never true for shards built by
+    /// [`crate::Network`]).
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+
+    /// The shard's cycle counter (in lockstep with its siblings outside the
+    /// two tick phases).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// This shard's share of the network statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Flits currently buffered in this shard.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Local router indices currently holding buffered flits.
+    pub(crate) fn active_count(&self) -> u32 {
+        self.active.count() as u32
+    }
+
+    /// Whether this shard holds no flits and no undelivered words.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight == 0 && self.eject_pending.is_empty()
+    }
+
+    /// Advances the cycle counter without simulating. Only legal while the
+    /// shard holds no flits (and, in parallel mode, only when every shard
+    /// agrees — the coordinator checks that before issuing a skip).
+    pub fn skip_to(&mut self, cycle: u64) {
+        debug_assert_eq!(self.in_flight, 0, "skip_to with flits in flight");
+        self.cycle = self.cycle.max(cycle);
+    }
+
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        let l = node.index().wrapping_sub(self.base);
+        debug_assert!(l < self.routers.len(), "{node} outside shard");
+        l
+    }
+
+    /// Nodes currently holding undelivered ejected words, in ascending id
+    /// order (global ids).
+    pub fn pending_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let base = self.base;
+        self.eject_pending
+            .iter()
+            .map(move |i| NodeId((base + i) as u32))
+    }
+
+    /// Next delivered payload word with the trace id of the message that
+    /// carried it ([`TraceId::NONE`] when tracing is off).
+    pub fn delivered_front_traced(
+        &self,
+        node: NodeId,
+        priority: MsgPriority,
+    ) -> Option<(Word, TraceId)> {
+        self.routers[self.local(node)].ejected[priority.index()]
+            .front()
+            .copied()
+    }
+
+    /// Pops the next delivered payload word for a node.
+    pub fn pop_delivered(&mut self, node: NodeId, priority: MsgPriority) -> Option<Word> {
+        let l = self.local(node);
+        let router = &mut self.routers[l];
+        let word = router.ejected[priority.index()].pop_front().map(|(w, _)| w);
+        if word.is_some() && router.ejected[0].is_empty() && router.ejected[1].is_empty() {
+            self.eject_pending.remove(l);
+        }
+        word
+    }
+
+    /// Number of delivered words waiting at a node.
+    pub fn delivered_len(&self, node: NodeId, priority: MsgPriority) -> usize {
+        self.routers[self.local(node)].ejected[priority.index()].len()
+    }
+
+    /// Offers one word to a node's injection port.
+    ///
+    /// `end` marks the final word of the message (the `SENDE` forms).
+    pub fn inject(
+        &mut self,
+        node: NodeId,
+        priority: MsgPriority,
+        word: Word,
+        end: bool,
+    ) -> InjectResult {
+        let cycle = self.cycle;
+        let inject_latency = self.config.inject_latency;
+        let fifo_cap = self.config.inject_fifo;
+        let dims = self.config.dims;
+        let l = self.local(node);
+        let router = &mut self.routers[l];
+        let vnet = priority.index();
+        if router.inputs[vnet][IN_INJECT].len() + 2 > fifo_cap {
+            return InjectResult::Stall;
+        }
+        let framing = &mut router.inject[vnet];
+        let (dest, is_route, head_word) = match framing.dest {
+            None => {
+                if word.tag() != Tag::Route || end {
+                    return InjectResult::BadRoute;
+                }
+                let dest = RouteWord::from_word(word).dest;
+                if dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z {
+                    return InjectResult::BadRoute;
+                }
+                framing.dest = Some(dest);
+                framing.msg_start = cycle;
+                self.stats.injected_msgs += 1;
+                framing.trace = match &mut self.tracer {
+                    Some(tracer) => {
+                        let id = TraceId(self.stats.injected_msgs);
+                        tracer.emit(
+                            cycle,
+                            EventKind::Inject {
+                                id,
+                                src: node,
+                                dst: dims.id(dest),
+                                priority,
+                                words: 0,
+                            },
+                        );
+                        id
+                    }
+                    None => TraceId::NONE,
+                };
+                (dest, true, true)
+            }
+            Some(dest) => {
+                if end {
+                    framing.dest = None;
+                }
+                (dest, false, false)
+            }
+        };
+        let msg_start = router.inject[vnet].msg_start;
+        let trace = router.inject[vnet].trace;
+        let pair = Flit::pair_for_word(
+            dest,
+            word,
+            is_route,
+            head_word,
+            end,
+            priority,
+            msg_start,
+            cycle + inject_latency,
+            trace,
+        );
+        for flit in pair {
+            router.inputs[vnet][IN_INJECT].push_back(flit);
+        }
+        router.occupancy += 2;
+        self.in_flight += 2;
+        self.active.insert(l);
+        InjectResult::Accepted
+    }
+
+    /// Atomically offers a whole message to a node's injection port: the
+    /// route word followed by at least one payload word. Either every word
+    /// is accepted or none is (the network interface composes messages in a
+    /// per-thread buffer and launches them whole, so a preempting handler
+    /// can never interleave words into an open message).
+    pub fn commit_msg(
+        &mut self,
+        node: NodeId,
+        priority: MsgPriority,
+        words: &[Word],
+    ) -> InjectResult {
+        let cycle = self.cycle;
+        let inject_latency = self.config.inject_latency;
+        let fifo_cap = self.config.inject_fifo;
+        let dims = self.config.dims;
+        let vnet = priority.index();
+        // Framing checks first.
+        if words.len() < 2 || words[0].tag() != Tag::Route {
+            return InjectResult::BadRoute;
+        }
+        let dest = RouteWord::from_word(words[0]).dest;
+        if dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z {
+            return InjectResult::BadRoute;
+        }
+        let l = self.local(node);
+        let router = &mut self.routers[l];
+        if router.inject[vnet].dest.is_some() {
+            // A word-wise injection is mid-message on this port; mixing
+            // the two APIs is a programming error.
+            return InjectResult::BadRoute;
+        }
+        let needed = 2 * words.len();
+        if router.inputs[vnet][IN_INJECT].len() + needed > fifo_cap {
+            return InjectResult::Stall;
+        }
+        self.stats.injected_msgs += 1;
+        let trace = match &mut self.tracer {
+            Some(tracer) => {
+                let id = TraceId(self.stats.injected_msgs);
+                tracer.emit(
+                    cycle,
+                    EventKind::Inject {
+                        id,
+                        src: node,
+                        dst: dims.id(dest),
+                        priority,
+                        words: words.len() as u32 - 1,
+                    },
+                );
+                id
+            }
+            None => TraceId::NONE,
+        };
+        for (i, &word) in words.iter().enumerate() {
+            let pair = Flit::pair_for_word(
+                dest,
+                word,
+                i == 0,
+                i == 0,
+                i + 1 == words.len(),
+                priority,
+                cycle,
+                cycle + inject_latency,
+                trace,
+            );
+            for flit in pair {
+                router.inputs[vnet][IN_INJECT].push_back(flit);
+            }
+        }
+        router.occupancy += needed as u32;
+        self.in_flight += needed as u64;
+        self.active.insert(l);
+        InjectResult::Accepted
+    }
+
+    fn neighbor_id(&self, here: Coord, out: usize) -> NodeId {
+        let mut c = here;
+        match out {
+            0 => c.x += 1,
+            1 => c.x -= 1,
+            2 => c.y += 1,
+            3 => c.y -= 1,
+            4 => c.z += 1,
+            5 => c.z -= 1,
+            _ => unreachable!("eject has no neighbor"),
+        }
+        self.config.dims.id(c)
+    }
+
+    fn crosses_bisection(&self, here: Coord, out: usize) -> bool {
+        if self.bisect_mid == 0 {
+            return false;
+        }
+        let (dim, positive) = match out {
+            0 => (0, true),
+            1 => (0, false),
+            2 => (1, true),
+            3 => (1, false),
+            4 => (2, true),
+            5 => (2, false),
+            _ => return false,
+        };
+        if dim != self.bisect_dim {
+            return false;
+        }
+        let coord = [here.x, here.y, here.z][dim];
+        (positive && coord == self.bisect_mid - 1) || (!positive && coord == self.bisect_mid)
+    }
+
+    /// Nodes per z-plane (boundary buffers are indexed by plane offset).
+    #[inline]
+    fn plane(&self) -> usize {
+        self.config.dims.x as usize * self.config.dims.y as usize
+    }
+
+    /// Phase 1 of a cycle: moves at most one flit per physical channel,
+    /// priority-1 traffic first, input ports arbitrated in fixed order with
+    /// injection last. `below`/`above` are the edges toward the adjacent
+    /// shards (`None` at the mesh faces, or when the whole mesh is one
+    /// shard). Flits leaving the slab are posted to the edge mailboxes and
+    /// picked up by [`NetShard::exchange`] on the receiving side.
+    ///
+    /// Only routers in the active set (buffered flits) are visited; an empty
+    /// shard steps in O(1). This is cycle-exact with a full ascending scan:
+    /// inactive routers have nothing to move, and a router activated
+    /// mid-step only holds flits with `ready_cycle == cycle + 1`, which the
+    /// scan would skip anyway.
+    pub fn step_cycle(&mut self, below: Option<&Edge>, above: Option<&Edge>) {
+        if self.in_flight == 0 {
+            self.cycle += 1;
+            return;
+        }
+        let cycle = self.cycle;
+        let flit_buffer = self.config.flit_buffer;
+        let eject_fifo = self.config.eject_fifo;
+        let plane = self.plane();
+        let count = self.routers.len();
+        // Snapshot the active set: flit hand-offs during the loop may
+        // activate routers (harmless to visit or not, see above), and a
+        // drained router leaves the set for future cycles.
+        let mut snapshot = std::mem::take(&mut self.scratch);
+        snapshot.clear();
+        snapshot.extend(self.active.iter().map(|i| i as u32));
+        for &n in &snapshot {
+            let n = n as usize;
+            if self.routers[n].is_idle() {
+                self.active.remove(n);
+                continue;
+            }
+            let here = self.routers[n].coord;
+            let mut in_used = [false; 7];
+            let mut out_used = [false; 7];
+            for &priority in [MsgPriority::P1, MsgPriority::P0].iter() {
+                let vnet = priority.index();
+                #[allow(clippy::needless_range_loop)]
+                for in_port in 0..7 {
+                    if in_used[in_port] {
+                        continue;
+                    }
+                    let Some(&flit) = self.routers[n].inputs[vnet][in_port].front() else {
+                        continue;
+                    };
+                    if flit.ready_cycle > cycle {
+                        continue;
+                    }
+                    let out = ecube_route(here, flit.dest);
+                    if out_used[out] {
+                        continue;
+                    }
+                    match self.routers[n].owners[vnet][out] {
+                        Some(owner) if owner == in_port => {}
+                        Some(_) => continue,
+                        None => {
+                            if !flit.head {
+                                // A body flit whose path was already torn
+                                // down cannot occur under wormhole FIFO
+                                // discipline.
+                                debug_assert!(flit.head, "orphan body flit");
+                                continue;
+                            }
+                        }
+                    }
+                    // Space check downstream. Local targets report
+                    // start-of-cycle occupancy; boundary targets were
+                    // published by the owning shard at the last exchange —
+                    // both are scan-order-independent (module docs).
+                    let mut local_m = usize::MAX;
+                    if out == OUT_EJECT {
+                        if flit.payload.is_some()
+                            && self.routers[n].ejected[vnet].len() >= eject_fifo
+                        {
+                            continue;
+                        }
+                    } else {
+                        let m = self.neighbor_id(here, out).index();
+                        let l = m.wrapping_sub(self.base);
+                        if l < count {
+                            if self.routers[l].space(priority, out, flit_buffer, cycle) == 0 {
+                                continue;
+                            }
+                            local_m = l;
+                        } else {
+                            let space = match out {
+                                OUT_ZPOS => {
+                                    let edge = above.expect("+z exit without an upper edge");
+                                    edge.up_space[m % plane][vnet].load(Ordering::Acquire)
+                                }
+                                OUT_ZNEG => {
+                                    let edge = below.expect("-z exit without a lower edge");
+                                    edge.down_space[m % plane][vnet].load(Ordering::Acquire)
+                                }
+                                _ => unreachable!("only z channels cross slab boundaries"),
+                            };
+                            if space == 0 {
+                                continue;
+                            }
+                        }
+                    }
+                    // Commit the move.
+                    let flit = self.routers[n].inputs[vnet][in_port]
+                        .pop_front()
+                        .expect("front checked");
+                    self.routers[n].popped_at[vnet][in_port] = cycle;
+                    self.routers[n].occupancy -= 1;
+                    in_used[in_port] = true;
+                    out_used[out] = true;
+                    self.routers[n].owners[vnet][out] =
+                        if flit.tail { None } else { Some(in_port) };
+                    if out == OUT_EJECT {
+                        self.in_flight -= 1;
+                        if let Some(word) = flit.payload {
+                            self.routers[n].ejected[vnet].push_back((word, flit.trace));
+                            self.eject_pending.insert(n);
+                            self.stats.delivered_words += 1;
+                            // The message's first payload word (its header)
+                            // reaching the ejection FIFO is the deliver
+                            // event: the MDP dispatches on header arrival
+                            // while the tail may still be streaming in, so
+                            // keying on the tail would let dispatch precede
+                            // delivery.
+                            if let Some(tracer) = &mut self.tracer {
+                                if flit.trace.is_some()
+                                    && self.routers[n].eject_cur[vnet] != flit.trace
+                                {
+                                    self.routers[n].eject_cur[vnet] = flit.trace;
+                                    tracer.emit(
+                                        cycle,
+                                        EventKind::Deliver {
+                                            id: flit.trace,
+                                            node: NodeId((self.base + n) as u32),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        if flit.tail {
+                            self.stats.delivered_msgs += 1;
+                            // Ejection completes at the end of this cycle;
+                            // injection can never postdate it.
+                            debug_assert!(
+                                cycle + 1 >= flit.inject_cycle,
+                                "delivery precedes injection (cycle {cycle}, injected {})",
+                                flit.inject_cycle
+                            );
+                            let latency = cycle + 1 - flit.inject_cycle;
+                            self.stats.latency_sum += latency;
+                            self.stats.latency_max = self.stats.latency_max.max(latency);
+                        }
+                    } else {
+                        if flit.head {
+                            if let Some(tracer) = &mut self.tracer {
+                                if flit.trace.is_some() {
+                                    tracer.emit(
+                                        cycle,
+                                        EventKind::Hop {
+                                            id: flit.trace,
+                                            node: NodeId((self.base + n) as u32),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        self.stats.flit_hops += 1;
+                        if self.crosses_bisection(here, out) {
+                            self.stats.bisection_flits += 1;
+                        }
+                        let m = self.neighbor_id(here, out).index();
+                        let mut moved = flit;
+                        moved.ready_cycle = cycle + 1;
+                        if local_m != usize::MAX {
+                            let l = local_m;
+                            debug_assert_eq!(l, m.wrapping_sub(self.base));
+                            self.routers[l].inputs[vnet][out].push_back(moved);
+                            self.routers[l].occupancy += 1;
+                            self.active.insert(l);
+                        } else {
+                            // Crossing a slab boundary: the flit leaves this
+                            // shard's books and reaches the neighbor's input
+                            // buffer at exchange time. Deferral is invisible
+                            // (ready_cycle = cycle + 1 already bars every
+                            // same-cycle consumer).
+                            self.in_flight -= 1;
+                            let mailbox = match out {
+                                OUT_ZPOS => &above.expect("checked above").up,
+                                OUT_ZNEG => &below.expect("checked above").down,
+                                _ => unreachable!("only z channels cross slab boundaries"),
+                            };
+                            mailbox
+                                .lock()
+                                .expect("mailbox poisoned")
+                                .push((m as u32, vnet, moved));
+                        }
+                    }
+                }
+            }
+            if self.routers[n].is_idle() {
+                self.active.remove(n);
+            }
+        }
+        self.scratch = snapshot;
+        self.cycle += 1;
+    }
+
+    /// Phase 2 of a cycle: drains the edge mailboxes addressed to this shard
+    /// into its boundary input buffers, then publishes those buffers' free
+    /// space for the neighbors' next step. Must run after *every* shard
+    /// touching `below`/`above` has finished phase 1 (callers put a barrier
+    /// between the phases); a second barrier before the next phase 1 keeps
+    /// the published snapshots stable while neighbors read them.
+    pub fn exchange(&mut self, below: Option<&Edge>, above: Option<&Edge>) {
+        let plane = self.plane();
+        let flit_buffer = self.config.flit_buffer;
+        if let Some(edge) = below {
+            let mut inbox = edge.up.lock().expect("mailbox poisoned");
+            for (dest, vnet, flit) in inbox.drain(..) {
+                let l = self.local(NodeId(dest));
+                debug_assert!(l < plane, "up-crossing flit beyond the bottom plane");
+                self.routers[l].inputs[vnet][OUT_ZPOS].push_back(flit);
+                self.routers[l].occupancy += 1;
+                self.in_flight += 1;
+                self.active.insert(l);
+            }
+            drop(inbox);
+            for p in 0..plane {
+                for vnet in 0..2 {
+                    let len = self.routers[p].inputs[vnet][OUT_ZPOS].len();
+                    debug_assert!(len <= flit_buffer, "boundary buffer over capacity");
+                    edge.up_space[p][vnet].store((flit_buffer - len) as u8, Ordering::Release);
+                }
+            }
+        }
+        if let Some(edge) = above {
+            let top = self.routers.len() - plane;
+            let mut inbox = edge.down.lock().expect("mailbox poisoned");
+            for (dest, vnet, flit) in inbox.drain(..) {
+                let l = self.local(NodeId(dest));
+                debug_assert!(l >= top, "down-crossing flit above the top plane");
+                self.routers[l].inputs[vnet][OUT_ZNEG].push_back(flit);
+                self.routers[l].occupancy += 1;
+                self.in_flight += 1;
+                self.active.insert(l);
+            }
+            drop(inbox);
+            for p in 0..plane {
+                for vnet in 0..2 {
+                    let len = self.routers[top + p].inputs[vnet][OUT_ZNEG].len();
+                    debug_assert!(len <= flit_buffer, "boundary buffer over capacity");
+                    edge.down_space[p][vnet].store((flit_buffer - len) as u8, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Drains the buffered lifecycle events (empty when tracing is off).
+    pub(crate) fn take_trace_events(&mut self) -> Vec<Event> {
+        self.tracer.as_mut().map(|t| t.take()).unwrap_or_default()
+    }
+}
+
+/// The `(below, above)` edges of shard `k`, given the edge list in which
+/// `edges[i]` sits between shards `i` and `i + 1`.
+pub fn edge_pair(edges: &[Edge], k: usize) -> (Option<&Edge>, Option<&Edge>) {
+    (k.checked_sub(1).and_then(|i| edges.get(i)), edges.get(k))
+}

@@ -42,16 +42,52 @@ impl NetStats {
         self.bisection_flits as f64 * 18.0 * CLOCK_HZ as f64 / cycles as f64
     }
 
+    /// Sentinel `latency_max` in a [`NetStats::since`] window: the window
+    /// delivered messages, but none of them set a new all-time maximum, so
+    /// the true per-window maximum cannot be recovered from two cumulative
+    /// snapshots. Callers that report a windowed max must treat this value
+    /// as "unknown", not as a latency.
+    pub const LATENCY_MAX_UNKNOWN: u64 = u64::MAX;
+
+    /// Accumulates another counter set into this one (shard reduction):
+    /// counters add, `latency_max` maxes.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.flit_hops += other.flit_hops;
+        self.bisection_flits += other.bisection_flits;
+        self.delivered_words += other.delivered_words;
+        self.delivered_msgs += other.delivered_msgs;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        self.injected_msgs += other.injected_msgs;
+    }
+
     /// Difference of two snapshots (`self` later minus `earlier`), for
     /// windowed measurement.
+    ///
+    /// All counters are exact diffs. `latency_max` is a running maximum, not
+    /// a counter, so it cannot always be diffed:
+    ///
+    /// * no message delivered in the window → `0`;
+    /// * the window raised the all-time maximum → that new maximum (exact:
+    ///   it was observed inside the window);
+    /// * otherwise → [`NetStats::LATENCY_MAX_UNKNOWN`] — the all-time
+    ///   maximum predates the window, and returning it (as this method once
+    ///   did) would silently attribute an old outlier to the window.
     pub fn since(&self, earlier: &NetStats) -> NetStats {
+        let latency_max = if self.delivered_msgs == earlier.delivered_msgs {
+            0
+        } else if self.latency_max > earlier.latency_max {
+            self.latency_max
+        } else {
+            NetStats::LATENCY_MAX_UNKNOWN
+        };
         NetStats {
             flit_hops: self.flit_hops - earlier.flit_hops,
             bisection_flits: self.bisection_flits - earlier.bisection_flits,
             delivered_words: self.delivered_words - earlier.delivered_words,
             delivered_msgs: self.delivered_msgs - earlier.delivered_msgs,
             latency_sum: self.latency_sum - earlier.latency_sum,
-            latency_max: self.latency_max,
+            latency_max,
             injected_msgs: self.injected_msgs - earlier.injected_msgs,
         }
     }
@@ -71,16 +107,52 @@ mod tests {
         let early = NetStats {
             delivered_msgs: 5,
             latency_sum: 100,
+            latency_max: 50,
             ..NetStats::default()
         };
         let late = NetStats {
             delivered_msgs: 9,
             latency_sum: 220,
+            latency_max: 50,
             ..NetStats::default()
         };
         let diff = late.since(&early);
         assert_eq!(diff.delivered_msgs, 4);
         assert_eq!(diff.mean_latency(), 30.0);
+        // The all-time max (50) was set *before* the window: reporting it as
+        // the window max would be wrong, and the sentinel says so.
+        assert_eq!(diff.latency_max, NetStats::LATENCY_MAX_UNKNOWN);
+    }
+
+    #[test]
+    fn window_max_is_exact_when_the_window_sets_it() {
+        let early = NetStats {
+            delivered_msgs: 5,
+            latency_max: 50,
+            ..NetStats::default()
+        };
+        let late = NetStats {
+            delivered_msgs: 7,
+            latency_max: 80,
+            ..NetStats::default()
+        };
+        // A latency of 80 was observed inside the window.
+        assert_eq!(late.since(&early).latency_max, 80);
+        // First-ever window: the running max grew from 0, also exact.
+        let diff = late.since(&NetStats::default());
+        assert_eq!(diff.latency_max, 80);
+    }
+
+    #[test]
+    fn window_max_is_zero_for_empty_window() {
+        let snap = NetStats {
+            delivered_msgs: 5,
+            latency_max: 50,
+            ..NetStats::default()
+        };
+        let diff = snap.since(&snap.clone());
+        assert_eq!(diff.delivered_msgs, 0);
+        assert_eq!(diff.latency_max, 0);
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! Differential tests: the event-driven engine must be **cycle-exact** with
-//! the naive reference engine. For each workload both engines run the same
-//! program and every observable is compared — the `run_until_quiescent`
-//! outcome (success cycle count or error), the aggregated machine
-//! statistics (per-class cycles, per-handler counters, network counters),
-//! and the final contents of every declared data block on every node.
+//! Differential tests: the event-driven and parallel engines must be
+//! **cycle-exact** with the naive reference engine. For each workload every
+//! engine — including `Parallel(threads)` for threads ∈ {1, 2, 4} — runs
+//! the same program and every observable is compared: the
+//! `run_until_quiescent` outcome (success cycle count or error), the
+//! aggregated machine statistics (per-class cycles, per-handler counters,
+//! network counters), and the final contents of every declared data block
+//! on every node. Thread counts beyond the mesh's z extent are clamped, so
+//! `Parallel(4)` on a 2×2×2 mesh re-checks the 2-shard cut while on a
+//! 2×2×4 mesh it exercises four real worker threads.
 
 use jm_asm::{hdr, Builder, Program, Region};
 use jm_isa::instr::{AluOp, MsgPriority};
@@ -57,7 +61,16 @@ fn observe(
     }
 }
 
-/// Runs the workload on both engines and asserts bit-identical observables.
+/// Every engine under differential test, naive reference first.
+const ENGINES: [Engine; 5] = [
+    Engine::Naive,
+    Engine::Event,
+    Engine::Parallel(1),
+    Engine::Parallel(2),
+    Engine::Parallel(4),
+];
+
+/// Runs the workload on every engine and asserts bit-identical observables.
 fn assert_equivalent(
     label: &str,
     program: impl Fn() -> Program,
@@ -65,15 +78,23 @@ fn assert_equivalent(
     max_cycles: u64,
     setup: impl Fn(&mut JMachine),
 ) -> Observation {
-    let naive = observe(program(), config, Engine::Naive, max_cycles, &setup);
-    let event = observe(program(), config, Engine::Event, max_cycles, &setup);
-    assert_eq!(
-        naive.outcome, event.outcome,
-        "{label}: run outcome diverged"
-    );
-    assert_eq!(naive.stats, event.stats, "{label}: statistics diverged");
-    assert_eq!(naive.memory, event.memory, "{label}: final memory diverged");
-    event
+    let naive = observe(program(), config, ENGINES[0], max_cycles, &setup);
+    for engine in &ENGINES[1..] {
+        let other = observe(program(), config, *engine, max_cycles, &setup);
+        assert_eq!(
+            naive.outcome, other.outcome,
+            "{label}/{engine:?}: run outcome diverged"
+        );
+        assert_eq!(
+            naive.stats, other.stats,
+            "{label}/{engine:?}: statistics diverged"
+        );
+        assert_eq!(
+            naive.memory, other.memory,
+            "{label}/{engine:?}: final memory diverged"
+        );
+    }
+    naive
 }
 
 /// Micro workload: a three-hop RPC chain with long idle stretches — node 0
@@ -168,6 +189,24 @@ fn micro_ring_is_engine_exact() {
 }
 
 #[test]
+fn fixed_cycle_run_is_engine_exact() {
+    // `run(n)` drives the parallel engine through its fixed-deadline mode
+    // (no quiescence detection): stopping mid-workload must leave every
+    // engine at the same cycle with the same statistics snapshot.
+    let config = MachineConfig::new(16).start(StartPolicy::AllNodes);
+    let mut snapshots = Vec::new();
+    for engine in ENGINES {
+        let mut m = JMachine::new(ring_program(), config.engine(engine));
+        m.run(1_500);
+        assert_eq!(m.cycle(), 1_500, "{engine:?}: wrong stop cycle");
+        snapshots.push(m.stats());
+    }
+    for (engine, snap) in ENGINES.iter().zip(&snapshots).skip(1) {
+        assert_eq!(&snapshots[0], snap, "fixed run: {engine:?} diverged");
+    }
+}
+
+#[test]
 fn host_delivery_wakeup_is_engine_exact() {
     // StartPolicy::None: nothing runs until the host injects work, so the
     // event engine must wake parked nodes on the host-delivery path.
@@ -240,7 +279,7 @@ fn macro_radix_is_engine_exact() {
     let expected = jm_apps::radix::reference(&cfg.generate());
     let program = || jm_apps::radix::program(&cfg, 8);
     let mut sorted_per_engine = Vec::new();
-    for engine in [Engine::Naive, Engine::Event] {
+    for engine in ENGINES {
         let mut m = JMachine::new(
             program(),
             MachineConfig::new(8)
@@ -252,10 +291,12 @@ fn macro_radix_is_engine_exact() {
         assert_eq!(jm_apps::radix::result(&m, &cfg), expected);
         sorted_per_engine.push((cycles, m.stats()));
     }
-    assert_eq!(
-        sorted_per_engine[0], sorted_per_engine[1],
-        "radix: engines diverged"
-    );
+    for (engine, run) in ENGINES.iter().zip(&sorted_per_engine).skip(1) {
+        assert_eq!(
+            &sorted_per_engine[0], run,
+            "radix: {engine:?} diverged from naive"
+        );
+    }
 }
 
 #[test]
@@ -309,13 +350,15 @@ fn ejection_backpressure_redelivery_is_engine_exact() {
     };
     let config = MachineConfig::new(2).start(StartPolicy::AllNodes).mdp(mdp);
     let naive = observe(program(), config, Engine::Naive, 1_000_000, |_| {});
-    let event = observe(program(), config, Engine::Event, 1_000_000, |_| {});
-    assert_eq!(naive, event, "backpressure workload diverged");
+    for engine in &ENGINES[1..] {
+        let other = observe(program(), config, *engine, 1_000_000, |_| {});
+        assert_eq!(naive, other, "backpressure workload diverged on {engine:?}");
+    }
     // The workload really exercised backpressure: every message arrived
     // and summed correctly, and deliveries were refused along the way.
-    assert!(event.outcome.is_ok(), "{:?}", event.outcome);
-    assert_eq!(event.memory[0][0].as_i32(), 6 + 5 + 4 + 3 + 2 + 1);
-    assert_eq!(event.stats.nodes.msgs_received, 6);
+    assert!(naive.outcome.is_ok(), "{:?}", naive.outcome);
+    assert_eq!(naive.memory[0][0].as_i32(), 6 + 5 + 4 + 3 + 2 + 1);
+    assert_eq!(naive.stats.nodes.msgs_received, 6);
 }
 
 #[test]

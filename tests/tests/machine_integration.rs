@@ -225,3 +225,46 @@ fn stats_are_consistent_across_layers() {
     // Every class total is accounted once per node-cycle.
     assert!(stats.nodes.total_cycles() <= stats.cycles * 16);
 }
+
+/// A corrupted queue (head word is not a message header) must surface as a
+/// `QueueDesync` node error through `run_until_quiescent`, not a panic —
+/// and the fault must be counted in the machine statistics.
+#[test]
+fn queue_desync_is_a_counted_node_error() {
+    use jm_isa::consts::FaultKind;
+    use jm_isa::word::Word;
+    use jm_mdp::NodeError;
+
+    let mut b = Builder::new();
+    b.label("main");
+    b.suspend();
+    b.label("noop");
+    b.suspend();
+    b.entry("main");
+    let p = b.assemble().unwrap();
+
+    let mut m = JMachine::new(p, MachineConfig::new(8).start(StartPolicy::None));
+    // Bypass the host's header-framing helper and push a bare integer at
+    // the queue head — the hardware-level corruption the dispatcher guards.
+    assert!(m
+        .node_mut(NodeId(3))
+        .deliver(MsgPriority::P0, Word::int(42)));
+    // A well-formed delivery behind it wakes the node; dispatch must trip
+    // over the corrupted head word before ever reaching this message.
+    m.deliver_message(NodeId(3), MsgPriority::P0, "noop", &[]);
+
+    let err = m.run_until_quiescent(10_000).unwrap_err();
+    match err {
+        jm_machine::MachineError::NodeErrors(errors) => {
+            assert_eq!(errors.len(), 1);
+            assert_eq!(errors[0].0, NodeId(3));
+            assert!(
+                matches!(errors[0].1, NodeError::QueueDesync(w) if w == Word::int(42)),
+                "wrong error: {:?}",
+                errors[0].1
+            );
+        }
+        other => panic!("expected NodeErrors, got {other:?}"),
+    }
+    assert_eq!(m.stats().nodes.fault_count(FaultKind::QueueDesync), 1);
+}
