@@ -233,9 +233,29 @@ pub struct LcsRun {
 ///
 /// Panics if the machine's answer differs from the host reference.
 pub fn run(nodes: u32, cfg: &LcsConfig, max_cycles: u64) -> Result<LcsRun, MachineError> {
+    run_on(MachineConfig::new(nodes), cfg, max_cycles)
+}
+
+/// [`run`] on an explicit machine configuration (engine, fault plan,
+/// mesh shape). The node count comes from `mcfg`; the start policy is
+/// forced to [`StartPolicy::AllNodes`], which the app requires.
+///
+/// # Errors
+///
+/// Propagates machine failures (timeout, node errors).
+///
+/// # Panics
+///
+/// Panics if the machine's answer differs from the host reference.
+pub fn run_on(
+    mcfg: MachineConfig,
+    cfg: &LcsConfig,
+    max_cycles: u64,
+) -> Result<LcsRun, MachineError> {
+    let nodes = mcfg.nodes();
     let p = program(cfg, nodes);
     let param = p.segment("lcs_p");
-    let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+    let mut m = JMachine::new(p, mcfg.start(StartPolicy::AllNodes));
     let (a, b) = setup(&mut m, cfg);
     let cycles = m.run_until_quiescent(max_cycles)?;
     let last = NodeId(nodes - 1);

@@ -333,9 +333,25 @@ pub struct NqRun {
 ///
 /// Panics if the solution count differs from the host reference.
 pub fn run(nodes: u32, cfg: &NqConfig, max_cycles: u64) -> Result<NqRun, MachineError> {
+    run_on(MachineConfig::new(nodes), cfg, max_cycles)
+}
+
+/// [`run`] on an explicit machine configuration (engine, fault plan,
+/// mesh shape). The node count comes from `mcfg`; the start policy is
+/// forced to [`StartPolicy::AllNodes`], which the app requires.
+///
+/// # Errors
+///
+/// Propagates machine failures.
+///
+/// # Panics
+///
+/// Panics if the solution count differs from the host reference.
+pub fn run_on(mcfg: MachineConfig, cfg: &NqConfig, max_cycles: u64) -> Result<NqRun, MachineError> {
+    let nodes = mcfg.nodes();
     let p = program(cfg, nodes);
     let param = p.segment("nq_p");
-    let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+    let mut m = JMachine::new(p, mcfg.start(StartPolicy::AllNodes));
     let cycles = m.run_until_quiescent(max_cycles)?;
     let total = m.read_word(NodeId(0), param.base + 3).as_i32() as u64;
     let finished = m.read_word(NodeId(0), param.base + 6).as_i32();

@@ -449,8 +449,28 @@ pub struct RadixRun {
 ///
 /// Panics if the sorted output differs from the host reference.
 pub fn run(nodes: u32, cfg: &RadixConfig, max_cycles: u64) -> Result<RadixRun, MachineError> {
+    run_on(MachineConfig::new(nodes), cfg, max_cycles)
+}
+
+/// [`run`] on an explicit machine configuration (engine, fault plan,
+/// mesh shape). The node count comes from `mcfg`; the start policy is
+/// forced to [`StartPolicy::AllNodes`], which the app requires.
+///
+/// # Errors
+///
+/// Propagates machine failures.
+///
+/// # Panics
+///
+/// Panics if the sorted output differs from the host reference.
+pub fn run_on(
+    mcfg: MachineConfig,
+    cfg: &RadixConfig,
+    max_cycles: u64,
+) -> Result<RadixRun, MachineError> {
+    let nodes = mcfg.nodes();
     let p = program(cfg, nodes);
-    let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+    let mut m = JMachine::new(p, mcfg.start(StartPolicy::AllNodes));
     let keys = setup(&mut m, cfg);
     let cycles = m.run_until_quiescent(max_cycles)?;
     let got = result(&m, cfg);

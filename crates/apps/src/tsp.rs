@@ -692,10 +692,30 @@ pub struct TspRun {
 ///
 /// Panics if the tour cost differs from the host reference.
 pub fn run(nodes: u32, cfg: &TspConfig, max_cycles: u64) -> Result<TspRun, MachineError> {
+    run_on(MachineConfig::new(nodes), cfg, max_cycles)
+}
+
+/// [`run`] on an explicit machine configuration (engine, fault plan,
+/// mesh shape). The node count comes from `mcfg`; the start policy is
+/// forced to [`StartPolicy::AllNodes`], which the app requires.
+///
+/// # Errors
+///
+/// Propagates machine failures.
+///
+/// # Panics
+///
+/// Panics if the tour cost differs from the host reference.
+pub fn run_on(
+    mcfg: MachineConfig,
+    cfg: &TspConfig,
+    max_cycles: u64,
+) -> Result<TspRun, MachineError> {
+    let nodes = mcfg.nodes();
     let p = program(cfg, nodes);
     let param = p.segment("tsp_p");
     let best_seg = p.segment("tsp_best");
-    let mut m = JMachine::new(p, MachineConfig::new(nodes).start(StartPolicy::AllNodes));
+    let mut m = JMachine::new(p, mcfg.start(StartPolicy::AllNodes));
     let matrix = setup(&mut m, cfg);
     let cycles = m.run_until_quiescent(max_cycles)?;
     let finished = m.read_word(NodeId(0), param.base + 4).as_i32();

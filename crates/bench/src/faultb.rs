@@ -1,0 +1,462 @@
+//! Degradation sweeps under deterministic fault injection.
+//!
+//! Three curves, all driven by seeded `jm-fault` plans so every point is
+//! reproducible bit-for-bit on any engine:
+//!
+//! * **Goodput vs. flaky-link rate** — a raw 32-node network under
+//!   saturating uniform-random traffic; goodput is delivered words per
+//!   cycle and must fall (weakly) as the per-port-cycle block probability
+//!   rises.
+//! * **Completion-cycle inflation vs. flaky-link rate** — the LCS
+//!   application end to end; delay faults are lossless backpressure, so
+//!   the answer stays exact while time-to-solution stretches.
+//! * **Retry cost vs. corruption rate** — the reliable-RPC demo from
+//!   `jm_runtime::reliable`; corrupted messages are dropped whole at
+//!   dispatch and the watchdog resends, so the counter stays exact while
+//!   retries and dropped messages climb.
+//!
+//! The `fault_sweep` binary renders these as tables, gates on weak
+//! monotonicity, and emits `BENCH_fault.json`.
+
+use std::fmt::Write as _;
+
+use jm_apps::lcs;
+use jm_fault::{FaultPlan, FaultSpec};
+use jm_isa::consts::FaultKind;
+use jm_isa::instr::MsgPriority;
+use jm_isa::node::{MeshDims, NodeId, RouteWord};
+use jm_isa::word::{MsgHeader, Word};
+use jm_machine::{JMachine, MachineConfig};
+use jm_net::{InjectResult, NetConfig, Network};
+use jm_prng::Prng;
+use jm_runtime::reliable;
+
+/// Flaky-link rates swept (parts per million per port-cycle draw).
+pub const FLAKY_PPM: [u32; 5] = [0, 20_000, 50_000, 100_000, 200_000];
+
+/// Flaky-link rates for the LCS completion-time sweep. The systolic
+/// pipeline hides link delay until the blocked link becomes the
+/// throughput bottleneck, so this ladder reaches much higher than
+/// [`FLAKY_PPM`] to show the knee of the curve.
+pub const LCS_FLAKY_PPM: [u32; 5] = [0, 400_000, 600_000, 800_000, 900_000];
+
+/// Payload-corruption rates swept (parts per million per ejected word).
+pub const CORRUPT_PPM: [u32; 4] = [0, 10_000, 30_000, 60_000];
+
+/// Relative slack for the weak-monotonicity gates: simulation noise from
+/// routing perturbation may wiggle a point by a percent or two without
+/// the curve being wrong.
+pub const SLACK: f64 = 0.02;
+
+/// One point of the raw-network goodput curve.
+#[derive(Debug, Clone, Copy)]
+pub struct GoodputPoint {
+    /// Flaky-link block probability, parts per million.
+    pub flaky_ppm: u32,
+    /// Payload words delivered within the cycle budget.
+    pub delivered_words: u64,
+    /// Whole messages delivered within the cycle budget.
+    pub delivered_msgs: u64,
+    /// Channel moves suppressed by the fault plan.
+    pub blocked_moves: u64,
+    /// The fixed cycle budget.
+    pub cycles: u64,
+}
+
+impl GoodputPoint {
+    /// Goodput: delivered payload words per network cycle.
+    pub fn words_per_cycle(&self) -> f64 {
+        self.delivered_words as f64 / self.cycles as f64
+    }
+}
+
+/// One point of the LCS completion-time curve.
+#[derive(Debug, Clone, Copy)]
+pub struct InflationPoint {
+    /// Flaky-link block probability, parts per million.
+    pub flaky_ppm: u32,
+    /// Cycles to quiescence (answer validated against the host).
+    pub cycles: u64,
+    /// Channel moves suppressed by the fault plan.
+    pub blocked_moves: u64,
+}
+
+/// One point of the reliable-RPC retry curve.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcPoint {
+    /// Payload-corruption probability, parts per million.
+    pub corrupt_ppm: u32,
+    /// Cycles to quiescence (counter validated exact).
+    pub cycles: u64,
+    /// Watchdog-triggered resends observed at the client.
+    pub retries: i64,
+    /// Messages dropped whole by checksum validation.
+    pub dropped: u64,
+    /// Words the fault plan corrupted at ejection.
+    pub corrupted_words: u64,
+}
+
+/// The three curves of one sweep, plus the seed that produced them.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Fault-plan seed all three curves share.
+    pub seed: u64,
+    /// Raw-network goodput curve.
+    pub goodput: Vec<GoodputPoint>,
+    /// LCS completion-time curve.
+    pub lcs: Vec<InflationPoint>,
+    /// Reliable-RPC retry curve.
+    pub rpc: Vec<RpcPoint>,
+}
+
+/// Measures raw-network goodput under saturating uniform-random traffic
+/// for each rate in [`FLAKY_PPM`].
+///
+/// Every node keeps one 4-word message (plus route word) offered to its
+/// injection port each cycle, addressed to a PRNG-chosen other node, and
+/// drains its ejection FIFO as fast as words arrive. The offered load is
+/// far past saturation, so delivered words per cycle measures the
+/// network's remaining capacity under the fault plan.
+pub fn goodput_sweep(seed: u64, cycles: u64) -> Vec<GoodputPoint> {
+    FLAKY_PPM
+        .iter()
+        .map(|&ppm| goodput_point(seed, ppm, cycles))
+        .collect()
+}
+
+fn goodput_point(seed: u64, flaky_ppm: u32, cycles: u64) -> GoodputPoint {
+    let dims = MeshDims::new(4, 4, 2);
+    let nodes = dims.nodes();
+    let mut net = Network::new(NetConfig::new(dims));
+    net.set_fault_plan(FaultPlan::from_spec(FaultSpec::new(seed).flaky(flaky_ppm)));
+
+    // Per-node source state: a PRNG for destinations and the message
+    // currently being offered (committed atomically, retried on stall).
+    let mut rngs: Vec<Prng> = (0..nodes)
+        .map(|n| Prng::from_label("goodput", seed ^ u64::from(n)))
+        .collect();
+    let mut pending: Vec<Vec<Word>> = (0..nodes)
+        .map(|n| next_msg(&mut rngs[n as usize], dims, n))
+        .collect();
+
+    for _ in 0..cycles {
+        for n in 0..nodes {
+            let node = NodeId(n);
+            match net.commit_msg(node, MsgPriority::P0, &pending[n as usize]) {
+                InjectResult::Accepted => {
+                    pending[n as usize] = next_msg(&mut rngs[n as usize], dims, n);
+                }
+                InjectResult::Stall => {}
+                InjectResult::BadRoute => unreachable!("generator picks in-mesh nodes"),
+            }
+            while net.pop_delivered(node, MsgPriority::P0).is_some() {}
+        }
+        net.step();
+    }
+    let stats = net.stats();
+    GoodputPoint {
+        flaky_ppm,
+        delivered_words: stats.delivered_words,
+        delivered_msgs: stats.delivered_msgs,
+        blocked_moves: stats.faults.blocked_moves,
+        cycles,
+    }
+}
+
+/// A fresh 4-word message (route + header + 3 payload words) to a
+/// uniform-random other node.
+fn next_msg(rng: &mut Prng, dims: MeshDims, from: u32) -> Vec<Word> {
+    let nodes = dims.nodes();
+    let mut dest = rng.range_u32(0, nodes - 1);
+    if dest >= from {
+        dest += 1; // uniform over the other nodes
+    }
+    vec![
+        RouteWord::new(dims.coord(NodeId(dest))).to_word(),
+        MsgHeader::new(1, 4).to_word(),
+        Word::int(from as i32),
+        Word::int(rng.range_i32(0, 1 << 20)),
+        Word::int(rng.range_i32(0, 1 << 20)),
+    ]
+}
+
+/// Runs LCS end to end for each rate in [`LCS_FLAKY_PPM`] and records
+/// time-to-solution. The plan is delay-only plus checksum trailers (so
+/// the wire format matches the chaos runs); the app's internal assert
+/// guarantees the answer stayed exact at every point.
+pub fn lcs_sweep(seed: u64) -> Vec<InflationPoint> {
+    // One character per node: the handler does almost no arithmetic, so
+    // the systolic forwarding chain is latency-bound and link faults land
+    // on the critical path instead of hiding behind compute.
+    let cfg = lcs::LcsConfig {
+        a_len: 8,
+        b_len: 512,
+        seed: 0x1c5,
+        alphabet: 4,
+    };
+    LCS_FLAKY_PPM
+        .iter()
+        .map(|&ppm| {
+            let spec = FaultSpec::new(seed).flaky(ppm).checksums(true);
+            let run = lcs::run_on(MachineConfig::new(8).fault(spec), &cfg, 4_000_000_000)
+                .expect("LCS completes under delay faults");
+            InflationPoint {
+                flaky_ppm: ppm,
+                cycles: run.cycles,
+                blocked_moves: run.stats.net.faults.blocked_moves,
+            }
+        })
+        .collect()
+}
+
+/// Runs the reliable-RPC demo for each rate in [`CORRUPT_PPM`] and
+/// records the retry cost. Panics if the replicated counter is not exact
+/// — that would mean lost or double-applied increments.
+pub fn rpc_sweep(seed: u64) -> Vec<RpcPoint> {
+    const CALLS: i32 = 6;
+    CORRUPT_PPM
+        .iter()
+        .map(|&ppm| {
+            let p = reliable::demo_program(CALLS, 7);
+            let count = p.segment(reliable::COUNT);
+            let retries = p.segment(reliable::RETRIES);
+            let spec = FaultSpec::new(seed).corrupt(ppm).checksums(true);
+            let mut m = JMachine::new(p, MachineConfig::new(8).fault(spec));
+            let cycles = m
+                .run_until_quiescent(50_000_000)
+                .expect("reliable RPC completes under corruption");
+            let got = m.read_word(NodeId(7), count.base).as_i32();
+            assert_eq!(got, CALLS, "counter drifted at {ppm} ppm corruption");
+            let stats = m.stats();
+            RpcPoint {
+                corrupt_ppm: ppm,
+                cycles,
+                retries: i64::from(m.read_word(NodeId(0), retries.base).as_i32()),
+                dropped: stats.nodes.faults[FaultKind::CorruptMessage.vector() as usize],
+                corrupted_words: stats.net.faults.corrupted_words,
+            }
+        })
+        .collect()
+}
+
+/// Runs all three sweeps with one seed.
+pub fn sweep(seed: u64, goodput_cycles: u64) -> FaultReport {
+    FaultReport {
+        seed,
+        goodput: goodput_sweep(seed, goodput_cycles),
+        lcs: lcs_sweep(seed),
+        rpc: rpc_sweep(seed),
+    }
+}
+
+impl FaultReport {
+    /// Checks the degradation curves for weak monotonicity (with
+    /// [`SLACK`] relative tolerance): goodput must not rise and LCS
+    /// completion time must not fall as the fault rate grows, and the
+    /// heaviest corruption point must actually have exercised the retry
+    /// path. Returns every violation found.
+    pub fn check_monotone(&self) -> Result<(), Vec<String>> {
+        let mut bad = Vec::new();
+        for pair in self.goodput.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            if hi.words_per_cycle() > lo.words_per_cycle() * (1.0 + SLACK) {
+                bad.push(format!(
+                    "goodput rose with fault rate: {:.4} w/cyc at {} ppm vs {:.4} at {} ppm",
+                    hi.words_per_cycle(),
+                    hi.flaky_ppm,
+                    lo.words_per_cycle(),
+                    lo.flaky_ppm
+                ));
+            }
+        }
+        for pair in self.lcs.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            if (hi.cycles as f64) < lo.cycles as f64 * (1.0 - SLACK) {
+                bad.push(format!(
+                    "LCS sped up with fault rate: {} cycles at {} ppm vs {} at {} ppm",
+                    hi.cycles, hi.flaky_ppm, lo.cycles, lo.flaky_ppm
+                ));
+            }
+        }
+        if let Some(last) = self.rpc.last() {
+            if last.retries == 0 || last.dropped == 0 {
+                bad.push(format!(
+                    "corruption at {} ppm exercised no retries ({} drops)",
+                    last.corrupt_ppm, last.dropped
+                ));
+            }
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// Deterministic per-point counter lines — the digest source. Every
+    /// number here is simulated state, so the digest is identical across
+    /// engines and host thread counts.
+    pub fn digest_lines(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "seed {}", self.seed);
+        for p in &self.goodput {
+            let _ = writeln!(
+                s,
+                "goodput {} {} {} {} {}",
+                p.flaky_ppm, p.delivered_words, p.delivered_msgs, p.blocked_moves, p.cycles
+            );
+        }
+        for p in &self.lcs {
+            let _ = writeln!(s, "lcs {} {} {}", p.flaky_ppm, p.cycles, p.blocked_moves);
+        }
+        for p in &self.rpc {
+            let _ = writeln!(
+                s,
+                "rpc {} {} {} {} {}",
+                p.corrupt_ppm, p.cycles, p.retries, p.dropped, p.corrupted_words
+            );
+        }
+        s
+    }
+
+    /// Renders the three curves as aligned text tables.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "fault degradation sweep (seed {})\n", self.seed);
+        let _ = writeln!(
+            s,
+            "  goodput under flaky links (32-node mesh, saturating uniform-random traffic)"
+        );
+        let _ = writeln!(
+            s,
+            "  {:>10} {:>12} {:>10} {:>12} {:>10}",
+            "flaky ppm", "words", "msgs", "blocked", "words/cyc"
+        );
+        for p in &self.goodput {
+            let _ = writeln!(
+                s,
+                "  {:>10} {:>12} {:>10} {:>12} {:>10.4}",
+                p.flaky_ppm,
+                p.delivered_words,
+                p.delivered_msgs,
+                p.blocked_moves,
+                p.words_per_cycle()
+            );
+        }
+        let _ = writeln!(s, "\n  LCS completion time under flaky links (8 nodes)");
+        let base = self.lcs.first().map_or(1, |p| p.cycles).max(1);
+        let _ = writeln!(
+            s,
+            "  {:>10} {:>12} {:>12} {:>10}",
+            "flaky ppm", "cycles", "blocked", "inflation"
+        );
+        for p in &self.lcs {
+            let _ = writeln!(
+                s,
+                "  {:>10} {:>12} {:>12} {:>9.2}x",
+                p.flaky_ppm,
+                p.cycles,
+                p.blocked_moves,
+                p.cycles as f64 / base as f64
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\n  reliable RPC under payload corruption (8 nodes, 6 calls)"
+        );
+        let _ = writeln!(
+            s,
+            "  {:>11} {:>12} {:>8} {:>8} {:>10}",
+            "corrupt ppm", "cycles", "retries", "drops", "corrupted"
+        );
+        for p in &self.rpc {
+            let _ = writeln!(
+                s,
+                "  {:>11} {:>12} {:>8} {:>8} {:>10}",
+                p.corrupt_ppm, p.cycles, p.retries, p.dropped, p.corrupted_words
+            );
+        }
+        s
+    }
+
+    /// Renders `BENCH_fault.json` (hand-rolled; the workspace takes no
+    /// serialization dependency).
+    pub fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        s.push_str("  \"goodput\": [\n");
+        for (i, p) in self.goodput.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"flaky_ppm\": {}, \"delivered_words\": {}, \"delivered_msgs\": {}, \
+                 \"blocked_moves\": {}, \"cycles\": {}, \"words_per_cycle\": {:.6}}}",
+                p.flaky_ppm,
+                p.delivered_words,
+                p.delivered_msgs,
+                p.blocked_moves,
+                p.cycles,
+                p.words_per_cycle()
+            );
+            s.push_str(if i + 1 == self.goodput.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        s.push_str("  ],\n  \"lcs\": [\n");
+        let base = self.lcs.first().map_or(1, |p| p.cycles).max(1);
+        for (i, p) in self.lcs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"flaky_ppm\": {}, \"cycles\": {}, \"blocked_moves\": {}, \
+                 \"inflation\": {:.6}}}",
+                p.flaky_ppm,
+                p.cycles,
+                p.blocked_moves,
+                p.cycles as f64 / base as f64
+            );
+            s.push_str(if i + 1 == self.lcs.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ],\n  \"rpc\": [\n");
+        for (i, p) in self.rpc.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"corrupt_ppm\": {}, \"cycles\": {}, \"retries\": {}, \"dropped\": {}, \
+                 \"corrupted_words\": {}}}",
+                p.corrupt_ppm, p.cycles, p.retries, p.dropped, p.corrupted_words
+            );
+            s.push_str(if i + 1 == self.rpc.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_degrades_with_fault_rate() {
+        let clean = goodput_point(42, 0, 2_000);
+        let faulty = goodput_point(42, 200_000, 2_000);
+        assert!(clean.delivered_words > 0);
+        assert_eq!(clean.blocked_moves, 0);
+        assert!(faulty.blocked_moves > 0);
+        assert!(
+            faulty.words_per_cycle() <= clean.words_per_cycle() * (1.0 + SLACK),
+            "goodput did not degrade: clean {:.4}, faulty {:.4}",
+            clean.words_per_cycle(),
+            faulty.words_per_cycle()
+        );
+    }
+
+    #[test]
+    fn goodput_point_is_deterministic() {
+        let a = goodput_point(7, 50_000, 1_000);
+        let b = goodput_point(7, 50_000, 1_000);
+        assert_eq!(a.delivered_words, b.delivered_words);
+        assert_eq!(a.blocked_moves, b.blocked_moves);
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod faultb;
 pub mod harness;
 pub mod macrob;
 pub mod micro;

@@ -1,5 +1,6 @@
 //! Machine configuration.
 
+use jm_fault::FaultSpec;
 use jm_isa::node::MeshDims;
 use jm_mdp::MdpConfig;
 use jm_net::NetConfig;
@@ -127,6 +128,10 @@ pub struct MachineConfig {
     pub engine: Engine,
     /// Lifecycle tracing (off by default).
     pub trace: TraceConfig,
+    /// Fault-injection plan (none by default). A vacuous spec — no windows,
+    /// zero rates, no checksums — canonicalizes to no plan at machine
+    /// build, so it takes the exact fault-free code paths.
+    pub fault: Option<FaultSpec>,
 }
 
 impl MachineConfig {
@@ -145,6 +150,7 @@ impl MachineConfig {
             start: StartPolicy::default(),
             engine: Engine::default(),
             trace: TraceConfig::default(),
+            fault: None,
         }
     }
 
@@ -157,6 +163,7 @@ impl MachineConfig {
             start: StartPolicy::default(),
             engine: Engine::default(),
             trace: TraceConfig::default(),
+            fault: None,
         }
     }
 
@@ -192,6 +199,12 @@ impl MachineConfig {
     /// Enables tracing with default settings (builder style).
     pub fn traced(mut self) -> MachineConfig {
         self.trace = TraceConfig::on();
+        self
+    }
+
+    /// Sets the fault-injection plan (builder style).
+    pub fn fault(mut self, spec: FaultSpec) -> MachineConfig {
+        self.fault = Some(spec);
         self
     }
 

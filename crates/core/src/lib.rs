@@ -44,6 +44,7 @@ mod parallel;
 mod stats;
 
 pub use config::{Engine, MachineConfig, StartPolicy, TraceConfig};
+pub use jm_fault::{FaultSpec, FaultStats, FaultWindow, FaultWindowKind};
 pub use jm_trace::{MachineTrace, MsgTrace, SamplePoint};
-pub use machine::{JMachine, MachineError};
+pub use machine::{parallel_trace_fallbacks, JMachine, MachineError};
 pub use stats::MachineStats;

@@ -11,6 +11,7 @@
 use crate::config::{Engine, MachineConfig, StartPolicy};
 use crate::stats::MachineStats;
 use jm_asm::Program;
+use jm_fault::{checksum_words, FaultPlan};
 use jm_isa::consts::FaultKind;
 use jm_isa::instr::{MsgPriority, StatClass};
 use jm_isa::node::NodeId;
@@ -22,7 +23,21 @@ use jm_trace::{MachineTrace, SamplePoint};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of traced runs that requested [`Engine::Parallel`]
+/// and were built on [`Engine::Event`] instead (see [`JMachine::new`]).
+static PARALLEL_TRACE_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// How many machines in this process requested the parallel engine with
+/// tracing enabled and silently-equivalently ran the event engine instead.
+/// Harness binaries record this in their run metadata (e.g. the
+/// `fault_sweep --digest` output) so a digest names the engine that
+/// actually executed, not just the one requested.
+pub fn parallel_trace_fallbacks() -> u64 {
+    PARALLEL_TRACE_FALLBACKS.load(Ordering::Relaxed)
+}
 
 /// A machine-level failure.
 #[derive(Debug, Clone)]
@@ -234,9 +249,19 @@ impl JMachine {
             // which sharded injection does not maintain. Traced runs fall
             // back to the event engine — bit-identical by construction, so
             // the trace describes exactly what the parallel engine would
-            // have simulated.
+            // have simulated. Counted and logged so run metadata can name
+            // the engine that actually executed.
+            PARALLEL_TRACE_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "jm-machine: warning: traced machine requested {:?}; running Engine::Event instead (bit-identical)",
+                config.engine
+            );
             config.engine = Engine::Event;
         }
+        // Canonicalize the fault plan: a vacuous spec is no plan at all, so
+        // every fault hook below stays on its fault-free path.
+        let fault = config.fault.and_then(FaultPlan::from_spec);
+        config.mdp.checksum_msgs = fault.is_some_and(|p| p.checksums());
         let shards = match config.engine {
             Engine::Parallel(threads) => threads.max(1) as usize,
             Engine::Event | Engine::Naive => 1,
@@ -255,6 +280,7 @@ impl JMachine {
             })
             .collect::<Vec<_>>();
         let mut net = Network::with_shards(config.net, shards);
+        net.set_fault_plan(fault);
         if config.trace.enabled {
             net.set_tracing(true);
             for node in &mut nodes {
@@ -351,6 +377,14 @@ impl JMachine {
         let ip = self.program.handler(handler);
         let header = MsgHeader::new(ip, args.len() as u32 + 1).to_word();
         let cycle = self.cycle;
+        // In checksum mode host messages carry the trailer too — the node
+        // validates every dispatch, however the message arrived.
+        let trailer = self.config.mdp.checksum_msgs.then(|| {
+            let mut words = Vec::with_capacity(args.len() + 1);
+            words.push(header);
+            words.extend_from_slice(args);
+            checksum_words(&words)
+        });
         let target = &mut self.nodes[node.index()];
         // Host deliveries bypass the network and carry no trace id.
         assert!(
@@ -360,6 +394,12 @@ impl JMachine {
         for &w in args {
             assert!(
                 target.deliver_traced(priority, w, TraceId::NONE, cycle),
+                "host delivery overflow"
+            );
+        }
+        if let Some(t) = trailer {
+            assert!(
+                target.deliver_traced(priority, t, TraceId::NONE, cycle),
                 "host delivery overflow"
             );
         }
@@ -754,6 +794,48 @@ mod tests {
         assert_eq!(stats.nodes.msgs_sent, 2);
         assert_eq!(stats.nodes.msgs_received, 2);
         assert_eq!(stats.net.delivered_msgs, 2);
+    }
+
+    #[test]
+    fn faulted_rpc_completes_and_engines_agree() {
+        // A lossless delay plan (flaky links) plus checksum trailers: the
+        // RPC must still produce the right answer on every engine, with
+        // bit-identical statistics, while the plan demonstrably interfered.
+        let spec = jm_fault::FaultSpec::new(99).flaky(200_000).checksums(true);
+        let mut reference: Option<(u64, MachineStats)> = None;
+        for engine in [Engine::Naive, Engine::Event, Engine::Parallel(2)] {
+            let cfg = MachineConfig::new(8).engine(engine).fault(spec);
+            let mut m = JMachine::new(rpc_program(), cfg);
+            let cycles = m.run_until_quiescent(100_000).unwrap();
+            let out = m.program().segment("out");
+            assert_eq!(m.read_word(NodeId(0), out.base).as_i32(), 42);
+            let stats = m.stats();
+            assert!(
+                stats.net.faults.blocked_moves > 0,
+                "plan injected nothing on {engine:?}"
+            );
+            assert_eq!(stats.net.delivered_msgs, 2);
+            match &reference {
+                None => reference = Some((cycles, stats)),
+                Some((c, s)) => {
+                    assert_eq!(cycles, *c, "{engine:?} cycle count diverged");
+                    assert_eq!(&stats, s, "{engine:?} stats diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vacuous_fault_spec_is_fault_free() {
+        let mut clean = JMachine::new(rpc_program(), MachineConfig::new(8));
+        let clean_cycles = clean.run_until_quiescent(10_000).unwrap();
+        let cfg = MachineConfig::new(8).fault(jm_fault::FaultSpec::none());
+        let mut vacuous = JMachine::new(rpc_program(), cfg);
+        let vac_cycles = vacuous.run_until_quiescent(10_000).unwrap();
+        assert_eq!(clean_cycles, vac_cycles);
+        assert_eq!(clean.stats(), vacuous.stats());
+        // No plan was materialized, so no checksum trailers either.
+        assert!(!vacuous.config().mdp.checksum_msgs);
     }
 
     #[test]

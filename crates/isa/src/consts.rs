@@ -87,11 +87,16 @@ pub enum FaultKind {
     /// halts with a machine-level error, and the vector slot exists only so
     /// the statistics hardware can count occurrences uniformly.
     QueueDesync = 9,
+    /// A message failed its checksum validation at dispatch (fault-injection
+    /// runs only; see `jm-fault`). The damaged message is dropped — counted
+    /// loss instead of a silent wrong answer — and recovery is left to the
+    /// runtime's idempotent resend protocol.
+    CorruptMessage = 10,
 }
 
 impl FaultKind {
     /// All faults in vector order.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::CFutRead,
         FaultKind::FutUse,
         FaultKind::TagMismatch,
@@ -102,6 +107,7 @@ impl FaultKind {
         FaultKind::MsgBounds,
         FaultKind::Illegal,
         FaultKind::QueueDesync,
+        FaultKind::CorruptMessage,
     ];
 
     /// The word address of this fault's vector.
@@ -124,6 +130,7 @@ impl fmt::Display for FaultKind {
             FaultKind::MsgBounds => "msg-bounds",
             FaultKind::Illegal => "illegal",
             FaultKind::QueueDesync => "queue-desync",
+            FaultKind::CorruptMessage => "corrupt-message",
         };
         f.write_str(name)
     }

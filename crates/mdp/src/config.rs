@@ -92,6 +92,14 @@ pub struct MdpConfig {
     pub queue1_words: u32,
     /// Name-translation cache capacity in entries.
     pub xlate_entries: usize,
+    /// Checksummed-message mode (fault-injection runs): every message
+    /// carries one extra trailer word — an FNV-1a fold of its header and
+    /// payload — appended at injection and validated at dispatch. A
+    /// mismatch drops the message and counts a
+    /// [`jm_isa::consts::FaultKind::CorruptMessage`] instead of letting a
+    /// handler run on damaged arguments. Off by default: fault-free runs
+    /// carry no trailer and take the unchecked dispatch path.
+    pub checksum_msgs: bool,
 }
 
 impl Default for MdpConfig {
@@ -101,6 +109,7 @@ impl Default for MdpConfig {
             queue0_words: QUEUE0_WORDS,
             queue1_words: QUEUE1_WORDS,
             xlate_entries: 1024,
+            checksum_msgs: false,
         }
     }
 }

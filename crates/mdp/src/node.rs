@@ -14,7 +14,7 @@ use jm_isa::reg::{Priority, RegFile};
 use jm_isa::tag::Tag;
 use jm_isa::word::{MsgHeader, SegDesc, Word};
 use jm_isa::TraceId;
-use jm_trace::{Event, EventKind, Tracer};
+use jm_trace::{Event, EventKind, FaultEvent, Tracer};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -392,7 +392,14 @@ impl MdpNode {
                 // total length, anything else is treated as one word (it
                 // will surface as a queue desync at dispatch).
                 let len = if word.tag() == Tag::Msg {
-                    MsgHeader::from_word(word).len
+                    let len = MsgHeader::from_word(word).len;
+                    // Checksum mode: the wire message carries one trailer
+                    // word beyond the header's stated length.
+                    if self.config.checksum_msgs {
+                        len + 1
+                    } else {
+                        len
+                    }
                 } else {
                     1
                 };
@@ -431,19 +438,36 @@ impl MdpNode {
         if self.active[1] {
             return Decision::Exec(Priority::P1);
         }
-        if self.queues[1].header().is_some() {
+        if self.dispatchable(1) {
             return Decision::Dispatch(MsgPriority::P1);
         }
         if self.active[0] {
             return Decision::Exec(Priority::P0);
         }
-        if self.queues[0].header().is_some() {
+        if self.dispatchable(0) {
             return Decision::Dispatch(MsgPriority::P0);
         }
         if self.bg_runnable {
             return Decision::Exec(Priority::Background);
         }
         Decision::Idle
+    }
+
+    /// Whether queue `q`'s head message may dispatch now. Normally the
+    /// header's arrival alone is enough (dispatch-on-arrival, §2.1; late
+    /// argument reads stall in [`crate::exec`]). In checksum mode dispatch
+    /// instead waits for the whole message plus its trailer word, because
+    /// validation must read every word before a handler may see any of
+    /// them. A desynchronized head (non-`msg` word) dispatches immediately
+    /// in both modes so the error surfaces.
+    fn dispatchable(&self, q: usize) -> bool {
+        match self.queues[q].header() {
+            None => false,
+            Some(Err(_)) => true,
+            Some(Ok(h)) => {
+                !self.config.checksum_msgs || self.queues[q].get(h.len as usize).is_some()
+            }
+        }
     }
 
     /// Advances the node at cycle `now`. A cycle-scanning engine calls this
@@ -510,6 +534,9 @@ impl MdpNode {
             }
             None => unreachable!("dispatch without header"),
         };
+        if self.config.checksum_msgs && !self.verify_checksum(q, header, now) {
+            return;
+        }
         if header.ip as usize >= self.program.code.len() {
             self.error = Some(NodeError::BadHandler(header.ip));
             return;
@@ -525,7 +552,15 @@ impl MdpNode {
         // A3 := descriptor of the message, inside the queue window.
         bank.a[3] = SegDesc::new(QUEUE_VBASE[q] + head_slot, header.len).to_word();
         self.active[q] = true;
-        self.msg_ctx[q] = Some(MsgCtx { len: header.len });
+        // The handler's A3 window covers the header's `len` words; in
+        // checksum mode the context length additionally counts the trailer
+        // so `end_thread` pops the whole wire message.
+        let wire_len = if self.config.checksum_msgs {
+            header.len + 1
+        } else {
+            header.len
+        };
+        self.msg_ctx[q] = Some(MsgCtx { len: wire_len });
         self.class[priority.index()] = StatClass::Compute;
         self.cur_handler[priority.index()] = header.ip;
         self.compose[priority.index()].clear();
@@ -550,6 +585,47 @@ impl MdpNode {
         let cost = self.config.timing.dispatch;
         self.stats.add_cycles(StatClass::Dispatch, cost);
         self.busy_until = now + cost;
+    }
+
+    /// Checksum-mode dispatch validation: recomputes the FNV-1a fold over
+    /// the head message's `len` words and compares it with the trailer word
+    /// at offset `len` (guaranteed present — [`Self::dispatchable`] held
+    /// dispatch until full arrival). On mismatch the message is dropped
+    /// whole: the fault is counted, the dispatch cost still charged (the
+    /// hardware spent those cycles reading the message), and recovery is
+    /// left to sender-side retry. Returns whether the message is intact.
+    fn verify_checksum(&mut self, q: usize, header: MsgHeader, now: u64) -> bool {
+        let len = header.len as usize;
+        let mut acc = jm_fault::CHECKSUM_INIT;
+        for offset in 0..len {
+            let word = self.queues[q]
+                .get(offset)
+                .expect("dispatchable checked full arrival");
+            acc = jm_fault::checksum_fold(acc, word);
+        }
+        let trailer = self.queues[q]
+            .get(len)
+            .expect("dispatchable checked trailer arrival");
+        if trailer == Word::new(Tag::Int, acc) {
+            return true;
+        }
+        self.stats.count_fault(FaultKind::CorruptMessage);
+        self.queues[q].pop_msg(len + 1);
+        if let Some(tracer) = &mut self.tracer {
+            let id = self.trace_pending[q].pop_front().unwrap_or(TraceId::NONE);
+            tracer.emit(
+                now,
+                EventKind::Fault {
+                    id,
+                    node: self.id,
+                    what: FaultEvent::DropMessage,
+                },
+            );
+        }
+        let cost = self.config.timing.dispatch;
+        self.stats.add_cycles(StatClass::Dispatch, cost);
+        self.busy_until = now + cost;
+        false
     }
 
     /// Ends the thread at `priority`: pops its message (if any) and clears

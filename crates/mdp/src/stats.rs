@@ -59,7 +59,7 @@ pub struct NodeStats {
     /// Lookups that missed.
     pub xlate_misses: u64,
     /// Faults raised, by kind.
-    pub faults: [u64; 10],
+    pub faults: [u64; 11],
     /// Cycles stalled waiting for message words to arrive.
     pub arrival_stalls: u64,
     /// Per-handler thread statistics, keyed by entry instruction index.

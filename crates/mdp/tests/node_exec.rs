@@ -538,3 +538,80 @@ fn data_blocks_load_and_seg_resolves() {
     run(&mut node, &mut net, 100);
     assert_eq!(node.read_mem(out.base).as_i32(), 30);
 }
+
+/// Builds the shared store-first-argument handler program used by the
+/// checksum tests.
+fn checksum_program() -> Program {
+    let mut b = Builder::new();
+    b.reserve("out", Region::Imem, 1);
+    b.label("handler");
+    b.mov(R0, MemRef::disp(A3, 1));
+    b.load_seg(A0, "out");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.suspend();
+    b.assemble().unwrap()
+}
+
+#[test]
+fn checksum_mode_drops_corrupt_messages_and_passes_clean_ones() {
+    let p = checksum_program();
+    let out = p.segment("out");
+    let handler = p.handler("handler");
+    let cfg = MdpConfig {
+        checksum_msgs: true,
+        ..MdpConfig::default()
+    };
+    let mut node = MdpNode::new(NodeId(0), MeshDims::new(2, 2, 2), Arc::new(p), cfg, true);
+    let mut net = MockNet::default();
+
+    // A damaged message first: the trailer is computed over the intended
+    // words, then a different argument arrives (as link corruption would
+    // deliver it).
+    let intended = [MsgHeader::new(handler, 2).to_word(), Word::int(13)];
+    let trailer = jm_fault::checksum_words(&intended);
+    node.deliver(MsgPriority::P0, intended[0]);
+    node.deliver(MsgPriority::P0, Word::int(99));
+    node.deliver(MsgPriority::P0, trailer);
+    // Then a clean one.
+    let clean = [MsgHeader::new(handler, 2).to_word(), Word::int(42)];
+    node.deliver(MsgPriority::P0, clean[0]);
+    node.deliver(MsgPriority::P0, clean[1]);
+    node.deliver(MsgPriority::P0, jm_fault::checksum_words(&clean));
+    run(&mut node, &mut net, 200);
+    // The damaged message was dropped whole — its argument never reached
+    // memory, no thread ran for it — and the clean one dispatched normally.
+    assert_eq!(node.read_mem(out.base).as_i32(), 42);
+    assert_eq!(node.stats().threads, 1);
+    assert_eq!(node.stats().msgs_received, 1);
+    assert_eq!(node.stats().fault_count(FaultKind::CorruptMessage), 1);
+    assert!(node.error().is_none());
+}
+
+#[test]
+fn checksum_mode_defers_dispatch_until_full_arrival() {
+    let p = checksum_program();
+    let out = p.segment("out");
+    let handler = p.handler("handler");
+    let cfg = MdpConfig {
+        checksum_msgs: true,
+        ..MdpConfig::default()
+    };
+    let mut node = MdpNode::new(NodeId(0), MeshDims::new(2, 2, 2), Arc::new(p), cfg, true);
+    let mut net = MockNet::default();
+    let msg = [MsgHeader::new(handler, 2).to_word(), Word::int(7)];
+    node.deliver(MsgPriority::P0, msg[0]);
+    node.deliver(MsgPriority::P0, msg[1]);
+    // Trailer not yet arrived: validation cannot run, so dispatch waits
+    // (in plain mode the header alone would have started the handler).
+    for now in 0..40 {
+        node.tick(now, &mut net);
+    }
+    assert_eq!(node.stats().threads, 0);
+    node.deliver(MsgPriority::P0, jm_fault::checksum_words(&msg));
+    for now in 40..120 {
+        node.tick(now, &mut net);
+    }
+    assert_eq!(node.stats().threads, 1);
+    assert_eq!(node.read_mem(out.base).as_i32(), 7);
+    assert!(node.error().is_none());
+}

@@ -120,6 +120,14 @@ pub(crate) struct Router {
     /// ejection port, per vnet (wormhole routing ejects messages whole, so
     /// a changed id marks a new message's first payload word).
     pub eject_cur: [TraceId; 2],
+    /// Fault-injection only: whether the message currently streaming out of
+    /// the ejection port has already delivered its first payload word (the
+    /// header), per vnet. Corruption skips the header — flipping a length
+    /// bit would desynchronize the queue instead of modelling payload
+    /// damage — and this flag is pure physical framing (set on the first
+    /// payload word, cleared by the tail flit), so it needs no knowledge of
+    /// message contents.
+    pub eject_hdr_seen: [bool; 2],
     /// Total flits across all input buffers (cheap activity check).
     pub occupancy: u32,
     /// Cycle at which each input buffer last had a flit popped
@@ -141,6 +149,7 @@ impl Router {
             ejected: Default::default(),
             inject: Default::default(),
             eject_cur: [TraceId::NONE; 2],
+            eject_hdr_seen: [false; 2],
             occupancy: 0,
             popped_at: [[u64::MAX; IN_PORTS]; 2],
         }

@@ -35,12 +35,13 @@ use crate::config::NetConfig;
 use crate::flit::Flit;
 use crate::router::{ecube_route, Router, IN_INJECT, OUT_EJECT};
 use crate::stats::NetStats;
+use jm_fault::{checksum_words, FaultPlan};
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::{Coord, NodeId, RouteWord};
 use jm_isa::tag::Tag;
 use jm_isa::word::Word;
 use jm_isa::TraceId;
-use jm_trace::{Event, EventKind, Tracer};
+use jm_trace::{Event, EventKind, FaultEvent, Tracer};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 
@@ -131,6 +132,10 @@ pub struct NetShard {
     /// Lifecycle-event buffer; `None` (the default) disables tracing, so
     /// the hot paths pay one pointer test.
     pub(crate) tracer: Option<Box<Tracer>>,
+    /// Fault plan, if this run injects faults. Queries key on *global* node
+    /// ids and the lockstep cycle counter, so every shard layout answers
+    /// identically; `None` (the default) keeps the fault-free fast paths.
+    fault: Option<FaultPlan>,
 }
 
 impl NetShard {
@@ -158,7 +163,14 @@ impl NetShard {
             eject_pending: BitSet::new(len),
             scratch: Vec::new(),
             tracer: None,
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) the fault plan. Must be set identically on
+    /// every shard before simulation starts.
+    pub(crate) fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
     }
 
     /// First global node id owned by this shard.
@@ -270,6 +282,9 @@ impl NetShard {
         let fifo_cap = self.config.inject_fifo;
         let dims = self.config.dims;
         let l = self.local(node);
+        if self.node_down_stall(node, cycle) {
+            return InjectResult::Stall;
+        }
         let router = &mut self.routers[l];
         let vnet = priority.index();
         if router.inputs[vnet][IN_INJECT].len() + 2 > fifo_cap {
@@ -361,6 +376,23 @@ impl NetShard {
             return InjectResult::BadRoute;
         }
         let l = self.local(node);
+        if self.node_down_stall(node, cycle) {
+            return InjectResult::Stall;
+        }
+        // Fault-injection runs append a checksum trailer word so the MDP
+        // can validate the payload at dispatch. The header's length field
+        // is untouched; the trailer travels at a known offset (header len)
+        // and is stripped by the dispatch machinery.
+        let mut checked;
+        let words: &[Word] = match &self.fault {
+            Some(f) if f.checksums() => {
+                checked = Vec::with_capacity(words.len() + 1);
+                checked.extend_from_slice(words);
+                checked.push(checksum_words(&words[1..]));
+                &checked
+            }
+            _ => words,
+        };
         let router = &mut self.routers[l];
         if router.inject[vnet].dest.is_some() {
             // A word-wise injection is mid-message on this port; mixing
@@ -409,6 +441,28 @@ impl NetShard {
         self.in_flight += needed as u64;
         self.active.insert(l);
         InjectResult::Accepted
+    }
+
+    /// Whether `node`'s interface is down this cycle; counts the refusal
+    /// (and traces it) so degradation curves can attribute send stalls.
+    fn node_down_stall(&mut self, node: NodeId, cycle: u64) -> bool {
+        match &self.fault {
+            Some(f) if f.node_down(node.0, cycle) => {
+                self.stats.faults.inject_stalls += 1;
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.emit(
+                        cycle,
+                        EventKind::Fault {
+                            id: TraceId::NONE,
+                            node,
+                            what: FaultEvent::SendStall,
+                        },
+                    );
+                }
+                true
+            }
+            _ => false,
+        }
     }
 
     fn neighbor_id(&self, here: Coord, out: usize) -> NodeId {
@@ -518,6 +572,18 @@ impl NetShard {
                             }
                         }
                     }
+                    // Delay faults come first and act exactly like a full
+                    // downstream buffer: the flit stays queued and wormhole
+                    // backpressure holds the path, so nothing is ever lost.
+                    // The decision is a pure function of (global node, out
+                    // port, cycle) — identical for every engine and shard
+                    // layout.
+                    if let Some(f) = &self.fault {
+                        if f.blocked((self.base + n) as u32, out, cycle) {
+                            self.stats.faults.blocked_moves += 1;
+                            continue;
+                        }
+                    }
                     // Space check downstream. Local targets report
                     // start-of-cycle occupancy; boundary targets were
                     // published by the owning shard at the last exchange —
@@ -567,6 +633,10 @@ impl NetShard {
                     if out == OUT_EJECT {
                         self.in_flight -= 1;
                         if let Some(word) = flit.payload {
+                            let mut word = word;
+                            if self.fault.is_some() {
+                                word = self.eject_faulted(word, n, vnet, flit.trace);
+                            }
                             self.routers[n].ejected[vnet].push_back((word, flit.trace));
                             self.eject_pending.insert(n);
                             self.stats.delivered_words += 1;
@@ -592,6 +662,9 @@ impl NetShard {
                             }
                         }
                         if flit.tail {
+                            if self.fault.is_some() {
+                                self.routers[n].eject_hdr_seen[vnet] = false;
+                            }
                             self.stats.delivered_msgs += 1;
                             // Ejection completes at the end of this cycle;
                             // injection can never postdate it.
@@ -707,6 +780,36 @@ impl NetShard {
                 }
             }
         }
+    }
+
+    /// Fault-injection path for one payload word reaching the ejection
+    /// port: the first payload word of each message (its header) passes
+    /// untouched — corrupting the length field would desynchronize the
+    /// queue rather than model payload damage — and every later word may
+    /// get one seeded bit flip. The cycle advanced inside `step_cycle`
+    /// hasn't been incremented yet, so `self.cycle` is the decision cycle.
+    fn eject_faulted(&mut self, word: Word, n: usize, vnet: usize, trace: TraceId) -> Word {
+        let router = &mut self.routers[n];
+        if !router.eject_hdr_seen[vnet] {
+            router.eject_hdr_seen[vnet] = true;
+            return word;
+        }
+        let plan = self.fault.as_ref().expect("checked by caller");
+        let Some(bit) = plan.corrupt_bit((self.base + n) as u32, self.cycle) else {
+            return word;
+        };
+        self.stats.faults.corrupted_words += 1;
+        if let Some(tracer) = &mut self.tracer {
+            tracer.emit(
+                self.cycle,
+                EventKind::Fault {
+                    id: trace,
+                    node: NodeId((self.base + n) as u32),
+                    what: FaultEvent::CorruptWord,
+                },
+            );
+        }
+        Word::new(word.tag(), word.bits() ^ (1 << bit))
     }
 
     /// Drains the buffered lifecycle events (empty when tracing is off).

@@ -1,5 +1,6 @@
 //! Network statistics.
 
+use jm_fault::FaultStats;
 use jm_isa::consts::CLOCK_HZ;
 
 /// Counters accumulated by the network across a run.
@@ -20,6 +21,8 @@ pub struct NetStats {
     pub latency_max: u64,
     /// Messages injected (route words accepted).
     pub injected_msgs: u64,
+    /// Fault-injection counters (all zero on fault-free runs).
+    pub faults: FaultStats,
 }
 
 impl NetStats {
@@ -59,6 +62,7 @@ impl NetStats {
         self.latency_sum += other.latency_sum;
         self.latency_max = self.latency_max.max(other.latency_max);
         self.injected_msgs += other.injected_msgs;
+        self.faults.merge(&other.faults);
     }
 
     /// Difference of two snapshots (`self` later minus `earlier`), for
@@ -89,6 +93,7 @@ impl NetStats {
             latency_sum: self.latency_sum - earlier.latency_sum,
             latency_max,
             injected_msgs: self.injected_msgs - earlier.injected_msgs,
+            faults: self.faults.since(&earlier.faults),
         }
     }
 }

@@ -20,7 +20,11 @@
 //!   (Table 2's save/restore costs);
 //! * [`tree`] — a binary combining tree (used by Radix Sort's
 //!   count-combining phase and as a barrier ablation);
-//! * [`rand`] — a small LCG for synthetic traffic generation.
+//! * [`rand`] — a small LCG for synthetic traffic generation;
+//! * [`reliable`] — sequence-numbered idempotent RPC with watchdog resend
+//!   and exponential backoff, the guest-level recovery protocol for
+//!   fault-injection runs (checksum-dropped messages are retried until
+//!   acked, applying each operation exactly once).
 //!
 //! # Calling convention
 //!
@@ -35,5 +39,6 @@ pub mod barrier;
 pub mod futures;
 pub mod nnr;
 pub mod rand;
+pub mod reliable;
 pub mod rpc;
 pub mod tree;

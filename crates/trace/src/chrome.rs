@@ -78,6 +78,16 @@ pub fn chrome_json(trace: &MachineTrace) -> String {
                 id.0, e.cycle, node.0, TID_ROUTER
             ));
         }
+        if let EventKind::Fault { id, node, what } = e.kind {
+            ev.push(format!(
+                r#"{{"name":"{} msg#{}","cat":"fault","ph":"i","ts":{},"pid":{},"tid":{},"s":"p"}}"#,
+                what.label(),
+                id.0,
+                e.cycle,
+                node.0,
+                TID_ROUTER
+            ));
+        }
     }
 
     for s in &trace.samples {

@@ -87,6 +87,48 @@ pub enum EventKind {
         /// Handler entry point.
         handler: u32,
     },
+    /// A fault was injected into (or detected on) a message. Emitted only
+    /// by fault-injection runs; ordinary traces never contain it.
+    Fault {
+        /// The affected message ([`TraceId::NONE`] when no message is
+        /// identifiable, e.g. a refused injection).
+        id: TraceId,
+        /// Node where the fault struck.
+        node: NodeId,
+        /// What happened.
+        what: FaultEvent,
+    },
+}
+
+/// What a [`EventKind::Fault`] event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A payload word had one bit flipped at the ejection port.
+    CorruptWord,
+    /// Checksum validation failed at dispatch; the message was dropped.
+    DropMessage,
+    /// An injection was refused because the node's interface was down.
+    SendStall,
+}
+
+impl FaultEvent {
+    /// Stable small integer for hashing and export.
+    pub fn code(self) -> u32 {
+        match self {
+            FaultEvent::CorruptWord => 0,
+            FaultEvent::DropMessage => 1,
+            FaultEvent::SendStall => 2,
+        }
+    }
+
+    /// Short label for exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultEvent::CorruptWord => "corrupt-word",
+            FaultEvent::DropMessage => "drop-message",
+            FaultEvent::SendStall => "send-stall",
+        }
+    }
 }
 
 impl EventKind {
@@ -100,6 +142,7 @@ impl EventKind {
             EventKind::QueueEnter { .. } => 3,
             EventKind::Dispatch { .. } => 4,
             EventKind::HandlerEnd { .. } => 5,
+            EventKind::Fault { .. } => 6,
         }
     }
 
@@ -111,7 +154,8 @@ impl EventKind {
             | EventKind::Deliver { id, .. }
             | EventKind::QueueEnter { id, .. }
             | EventKind::Dispatch { id, .. }
-            | EventKind::HandlerEnd { id, .. } => id,
+            | EventKind::HandlerEnd { id, .. }
+            | EventKind::Fault { id, .. } => id,
         }
     }
 }

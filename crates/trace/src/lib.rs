@@ -32,7 +32,7 @@ pub mod summary;
 pub mod trace;
 
 pub use chrome::chrome_json;
-pub use event::{Event, EventKind, Tracer};
+pub use event::{Event, EventKind, FaultEvent, Tracer};
 pub use histogram::{Histogram, BUCKETS};
 pub use jm_isa::TraceId;
 pub use summary::{fnv1a, hash, summary_json};

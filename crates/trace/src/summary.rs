@@ -66,6 +66,10 @@ pub fn hash(trace: &MachineTrace) -> u64 {
                 mix(u64::from(node.0));
                 mix(u64::from(handler));
             }
+            EventKind::Fault { node, what, .. } => {
+                mix(u64::from(node.0));
+                mix(u64::from(what.code()));
+            }
         }
     }
     for s in &trace.samples {
@@ -102,7 +106,7 @@ fn histogram_json(h: &Histogram) -> String {
 /// the four latency-component histograms, sample count, and the trace hash
 /// (as a hex string so shell tooling can compare it verbatim).
 pub fn summary_json(trace: &MachineTrace) -> String {
-    let mut kind_counts = [0u64; 6];
+    let mut kind_counts = [0u64; 7];
     for e in &trace.events {
         kind_counts[e.kind.rank() as usize] += 1;
     }
@@ -114,7 +118,8 @@ pub fn summary_json(trace: &MachineTrace) -> String {
             "{{\n",
             "  \"nodes\": {},\n",
             "  \"events\": {{\"inject\": {}, \"hop\": {}, \"deliver\": {}, ",
-            "\"queue_enter\": {}, \"dispatch\": {}, \"handler_end\": {}}},\n",
+            "\"queue_enter\": {}, \"dispatch\": {}, \"handler_end\": {}, ",
+            "\"fault\": {}}},\n",
             "  \"messages\": {{\"injected\": {}, \"dispatched\": {}}},\n",
             "  \"latency\": {{\n",
             "    \"net\": {},\n",
@@ -134,6 +139,7 @@ pub fn summary_json(trace: &MachineTrace) -> String {
         kind_counts[3],
         kind_counts[4],
         kind_counts[5],
+        kind_counts[6],
         msgs.len(),
         dispatched,
         histogram_json(&b.net),

@@ -180,6 +180,9 @@ impl MachineTrace {
                         msgs[i].handler_end = Some(e.cycle);
                     }
                 }
+                // Fault events annotate a message's lifecycle but are not
+                // themselves a stage of it.
+                EventKind::Fault { .. } => {}
             }
         }
         msgs
@@ -243,7 +246,8 @@ fn sort_node(kind: &EventKind) -> u32 {
         | EventKind::Deliver { node, .. }
         | EventKind::QueueEnter { node, .. }
         | EventKind::Dispatch { node, .. }
-        | EventKind::HandlerEnd { node, .. } => node.0,
+        | EventKind::HandlerEnd { node, .. }
+        | EventKind::Fault { node, .. } => node.0,
     }
 }
 
