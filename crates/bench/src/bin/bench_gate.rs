@@ -1,7 +1,8 @@
 //! Benchmark regression gate: compares a fresh `engine_perf` run against
 //! the committed baseline.
 //!
-//! Usage: `bench_gate --baseline PATH --current PATH [--tolerance FRAC]`
+//! Usage: `bench_gate --baseline PATH --current PATH [--tolerance FRAC]
+//! [--floor NAME=MIN]... [--floor-margin FRAC]`
 //!
 //! Both inputs are `BENCH_engine.json` documents. For every workload the
 //! gate compares the *speedup* (event engine over naive engine) rather
@@ -10,6 +11,13 @@
 //! their ratio is stable. The gate fails when a workload's speedup drops
 //! more than `tolerance` (default 0.30 = 30%) below the baseline, or when
 //! a baseline workload disappears.
+//!
+//! `--floor NAME=MIN` (repeatable) additionally pins an *absolute* speedup
+//! wall for one workload, independent of the committed baseline — a
+//! ratchet cannot slide below it by re-blessing the baseline. Short CI
+//! runs on shared runners jitter by a few percent, so the enforced wall is
+//! `MIN * (1 - floor-margin)` (margin default 0.10); the nominal floor is
+//! what the log reports against.
 
 use std::process::ExitCode;
 
@@ -81,6 +89,22 @@ fn arg(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Collects every `--floor NAME=MIN` pair from the command line.
+fn floors(args: &[String]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--floor" {
+            let spec = args.get(i + 1).expect("--floor takes NAME=MIN");
+            let (name, min) = spec.split_once('=').expect("--floor takes NAME=MIN");
+            out.push((
+                name.to_string(),
+                min.parse().expect("--floor minimum must be a number"),
+            ));
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let baseline_path = arg(&args, "--baseline").unwrap_or_else(|| "BENCH_engine.json".into());
@@ -88,6 +112,9 @@ fn main() -> ExitCode {
     let tolerance: f64 = arg(&args, "--tolerance")
         .map(|v| v.parse().expect("--tolerance takes a fraction"))
         .unwrap_or(0.30);
+    let floor_margin: f64 = arg(&args, "--floor-margin")
+        .map(|v| v.parse().expect("--floor-margin takes a fraction"))
+        .unwrap_or(0.10);
 
     let baseline = parse(&std::fs::read_to_string(&baseline_path).expect("read baseline"));
     let current = parse(&std::fs::read_to_string(&current_path).expect("read current"));
@@ -112,6 +139,24 @@ fn main() -> ExitCode {
             floor,
             cur.naive_cps,
             cur.event_cps,
+        );
+        failed |= !ok;
+    }
+    for (name, min) in &floors(&args) {
+        let Some(cur) = current.iter().find(|w| &w.name == name) else {
+            eprintln!("[FAIL] {name}: floor named a workload missing from {current_path}");
+            failed = true;
+            continue;
+        };
+        let wall = min * (1.0 - floor_margin);
+        let ok = cur.speedup >= wall;
+        println!(
+            "[{}] {:<28} speedup {:.2}x vs absolute floor {:.2}x (enforced at {:.2}x)",
+            if ok { "ok" } else { "FAIL" },
+            cur.name,
+            cur.speedup,
+            min,
+            wall,
         );
         failed |= !ok;
     }
@@ -161,5 +206,24 @@ mod tests {
         assert_eq!(ws[0].speedup, 10.0);
         assert_eq!(ws[1].name, "exchange64_load_dominated");
         assert_eq!(ws[1].speedup, 0.90);
+    }
+
+    #[test]
+    fn parses_repeated_floor_flags() {
+        let args: Vec<String> = [
+            "--floor",
+            "exchange64_load_dominated=1.0",
+            "--tolerance",
+            "0.30",
+            "--floor",
+            "ring64_idle_dominated=2.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let fs = floors(&args);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0], ("exchange64_load_dominated".to_string(), 1.0));
+        assert_eq!(fs[1], ("ring64_idle_dominated".to_string(), 2.5));
     }
 }

@@ -45,6 +45,28 @@ pub enum Engine {
     Parallel(u32),
 }
 
+/// How the event engine's per-shard scheduler advances due nodes.
+///
+/// `Auto` (the default) watches measured occupancy — the number of nodes
+/// that actually ticked in the cycle just run — and flips between the
+/// wake-up heap (sparse activity) and a dense scan of the wake table
+/// (saturated activity). The up-switch threshold (5/8 of the shard's nodes)
+/// sits well above the down-switch threshold (1/4), so a load hovering near
+/// either cannot thrash the switch. All three modes are bit-identical — the
+/// differential suite runs them side by side — because due nodes tick in
+/// ascending id order under both strategies; only the cost of *finding*
+/// them changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Congestion-aware switching with hysteresis.
+    #[default]
+    Auto,
+    /// Always use the wake-up heap (the classic event engine).
+    ForcedEvent,
+    /// Always use the dense wake-table scan.
+    ForcedScan,
+}
+
 /// Process-wide default-engine override (see [`Engine::set_default`]).
 static DEFAULT_ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
 
@@ -128,6 +150,8 @@ pub struct MachineConfig {
     pub engine: Engine,
     /// Lifecycle tracing (off by default).
     pub trace: TraceConfig,
+    /// Scheduler advance strategy (auto-switching by default).
+    pub sched: SchedMode,
     /// Fault-injection plan (none by default). A vacuous spec — no windows,
     /// zero rates, no checksums — canonicalizes to no plan at machine
     /// build, so it takes the exact fault-free code paths.
@@ -150,6 +174,7 @@ impl MachineConfig {
             start: StartPolicy::default(),
             engine: Engine::default(),
             trace: TraceConfig::default(),
+            sched: SchedMode::default(),
             fault: None,
         }
     }
@@ -163,6 +188,7 @@ impl MachineConfig {
             start: StartPolicy::default(),
             engine: Engine::default(),
             trace: TraceConfig::default(),
+            sched: SchedMode::default(),
             fault: None,
         }
     }
@@ -199,6 +225,12 @@ impl MachineConfig {
     /// Enables tracing with default settings (builder style).
     pub fn traced(mut self) -> MachineConfig {
         self.trace = TraceConfig::on();
+        self
+    }
+
+    /// Sets the scheduler advance strategy (builder style).
+    pub fn sched_mode(mut self, sched: SchedMode) -> MachineConfig {
+        self.sched = sched;
         self
     }
 

@@ -8,7 +8,7 @@
 //! results; `DESIGN.md` ("Simulation engine scheduling") gives the
 //! invariants and the cycle-exactness argument.
 
-use crate::config::{Engine, MachineConfig, StartPolicy};
+use crate::config::{Engine, MachineConfig, SchedMode, StartPolicy};
 use crate::stats::MachineStats;
 use jm_asm::Program;
 use jm_fault::{checksum_words, FaultPlan};
@@ -18,7 +18,7 @@ use jm_isa::node::NodeId;
 use jm_isa::word::{MsgHeader, Word};
 use jm_isa::TraceId;
 use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError};
-use jm_net::{InjectResult, Network};
+use jm_net::{InjectResult, Network, ScanPolicy};
 use jm_trace::{MachineTrace, SamplePoint};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -110,6 +110,20 @@ pub(crate) const PARKED: u64 = u64::MAX;
 /// Sentinel in `idle_since`: the node is not parked idle.
 pub(crate) const NOT_IDLE: u64 = u64::MAX;
 
+/// Which strategy the scheduler is currently using to find due nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScanMode {
+    /// Wake-up heap: O(log n) per transition, skips idle nodes entirely.
+    Heap,
+    /// Dense scan of `wake_at`: O(n) per cycle but no heap maintenance —
+    /// cheaper when most nodes tick every cycle (the load-dominated regime).
+    Dense,
+}
+
+/// A shard needs at least this many nodes before dense scanning can beat
+/// the heap (below it the heap is tiny anyway).
+const DENSE_MIN_NODES: usize = 16;
+
 /// Event-engine bookkeeping for one shard's nodes: which need ticking and
 /// when. The sequential event engine uses a single all-covering instance;
 /// the parallel engine gives each shard its own, mirroring the network's
@@ -117,8 +131,10 @@ pub(crate) const NOT_IDLE: u64 = u64::MAX;
 /// the per-node vectors are indexed locally (`id - base`).
 ///
 /// Invariants (between steps), writing `l` for a node's local index:
-/// * node `i` has exactly one heap entry iff `wake_at[l] != PARKED`, and
-///   that entry is `(wake_at[l], i)`;
+/// * in [`ScanMode::Heap`], node `i` has exactly one heap entry iff
+///   `wake_at[l] != PARKED`, and that entry is `(wake_at[l], i)`; in
+///   [`ScanMode::Dense`] the heap is empty and `wake_at` alone is
+///   authoritative (rebuilt into a heap on the down-switch);
 /// * a parked node's `schedule()` decision is `Idle` or `Stopped`, so it
 ///   cannot make progress until a delivery arrives (which re-schedules it);
 /// * `idle_since[l] != NOT_IDLE` iff the node is parked after an idle tick;
@@ -127,6 +143,11 @@ pub(crate) const NOT_IDLE: u64 = u64::MAX;
 /// * `has_work[l]` mirrors `nodes[l].has_work()` and `work_count` counts
 ///   the `true` entries, making quiescence O(shards);
 /// * `errored[l]`/`error_count` latch nodes that stopped with an error.
+///
+/// Both scan modes tick the same due set in the same (ascending id) order —
+/// equal-cycle heap entries pop in id order, and the dense scan walks ids
+/// ascending — so the mode, and when the auto policy switches it, is
+/// unobservable in simulated state.
 pub(crate) struct EventSched {
     /// First global node id this scheduler covers.
     base: usize,
@@ -139,19 +160,30 @@ pub(crate) struct EventSched {
     pub(crate) error_count: usize,
     /// Scratch for the pump's snapshot of nodes with pending deliveries.
     pub(crate) pump_scratch: Vec<u32>,
+    /// Current advance strategy.
+    pub(crate) mode: ScanMode,
+    /// Switching policy (from [`MachineConfig::sched`]).
+    policy: SchedMode,
 }
 
 impl EventSched {
     /// Every node starts scheduled for cycle 0 — the first step ticks them
     /// all once, exactly like the naive engine, and the workless ones park.
     /// `nodes` is the covered slice (ids `base .. base + nodes.len()`).
-    fn new(nodes: &[MdpNode], base: usize) -> EventSched {
+    fn new(nodes: &[MdpNode], base: usize, policy: SchedMode) -> EventSched {
         let n = nodes.len();
         let has_work: Vec<bool> = nodes.iter().map(MdpNode::has_work).collect();
         let work_count = has_work.iter().filter(|&&w| w).count();
+        let mode = match policy {
+            SchedMode::ForcedScan => ScanMode::Dense,
+            SchedMode::Auto | SchedMode::ForcedEvent => ScanMode::Heap,
+        };
         EventSched {
             base,
-            heap: (0..n).map(|i| Reverse((0, (base + i) as u32))).collect(),
+            heap: match mode {
+                ScanMode::Heap => (0..n).map(|i| Reverse((0, (base + i) as u32))).collect(),
+                ScanMode::Dense => BinaryHeap::new(),
+            },
             wake_at: vec![0; n],
             idle_since: vec![NOT_IDLE; n],
             has_work,
@@ -159,13 +191,49 @@ impl EventSched {
             errored: vec![false; n],
             error_count: 0,
             pump_scratch: Vec::new(),
+            mode,
+            policy,
         }
     }
 
     /// Enters a popped (or parked) node into the heap for cycle `at`.
     pub(crate) fn schedule(&mut self, i: usize, at: u64) {
         self.wake_at[i - self.base] = at;
-        self.heap.push(Reverse((at, i as u32)));
+        if self.mode == ScanMode::Heap {
+            self.heap.push(Reverse((at, i as u32)));
+        }
+    }
+
+    /// Occupancy feedback after a cycle that ticked `ticked` nodes: the
+    /// auto policy switches to dense scanning when ≥ 5/8 of the shard's
+    /// nodes ticked and back to the heap when ≤ 1/4 did. The wide gap is
+    /// the hysteresis — a load sitting between the thresholds keeps
+    /// whatever mode it is in.
+    pub(crate) fn retune(&mut self, ticked: usize) {
+        if self.policy != SchedMode::Auto {
+            return;
+        }
+        let n = self.wake_at.len();
+        match self.mode {
+            ScanMode::Heap => {
+                if n >= DENSE_MIN_NODES && ticked * 8 >= n * 5 {
+                    self.mode = ScanMode::Dense;
+                    // `wake_at` is authoritative from here on.
+                    self.heap.clear();
+                }
+            }
+            ScanMode::Dense => {
+                if ticked * 4 <= n {
+                    self.mode = ScanMode::Heap;
+                    debug_assert!(self.heap.is_empty());
+                    for (l, &at) in self.wake_at.iter().enumerate() {
+                        if at != PARKED {
+                            self.heap.push(Reverse((at, (self.base + l) as u32)));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Wakes a parked node for cycle `at` (no-op if already scheduled),
@@ -206,8 +274,13 @@ impl EventSched {
     }
 
     /// Earliest scheduled wake-up, `u64::MAX` when every node is parked.
+    /// O(1) on the heap; a linear scan in dense mode (`PARKED` is `u64::MAX`,
+    /// so parked nodes never win the minimum).
     pub(crate) fn next_due(&self) -> u64 {
-        self.heap.peek().map_or(u64::MAX, |&Reverse((c, _))| c)
+        match self.mode {
+            ScanMode::Heap => self.heap.peek().map_or(u64::MAX, |&Reverse((c, _))| c),
+            ScanMode::Dense => self.wake_at.iter().copied().min().unwrap_or(u64::MAX),
+        }
     }
 }
 
@@ -262,6 +335,13 @@ impl JMachine {
         // every fault hook below stays on its fault-free path.
         let fault = config.fault.and_then(FaultPlan::from_spec);
         config.mdp.checksum_msgs = fault.is_some_and(|p| p.checksums());
+        // One knob drives both congestion-aware switches: the scheduler's
+        // heap/dense choice and the net layer's active-set/occupancy scan.
+        config.net.scan = match config.sched {
+            SchedMode::Auto => ScanPolicy::Auto,
+            SchedMode::ForcedEvent => ScanPolicy::ForcedSparse,
+            SchedMode::ForcedScan => ScanPolicy::ForcedDense,
+        };
         let shards = match config.engine {
             Engine::Parallel(threads) => threads.max(1) as usize,
             Engine::Event | Engine::Naive => 1,
@@ -291,7 +371,9 @@ impl JMachine {
             let (parts, _) = net.shard_parts();
             parts
                 .iter()
-                .map(|s| EventSched::new(&nodes[s.base()..s.base() + s.len()], s.base()))
+                .map(|s| {
+                    EventSched::new(&nodes[s.base()..s.base() + s.len()], s.base(), config.sched)
+                })
                 .collect()
         };
         JMachine {

@@ -28,7 +28,7 @@
 //! wake-up cycle across shards (bounded by the deadline), exactly mirroring
 //! the sequential engine's `fast_forward`.
 
-use crate::machine::{EventSched, PARKED};
+use crate::machine::{EventSched, ScanMode, PARKED};
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::NodeId;
 use jm_isa::word::Word;
@@ -95,38 +95,72 @@ pub(crate) fn shard_cycle(
         }
     }
     sched.pump_scratch = pending;
-    // 2. Execute every node due this cycle. Pop order within a cycle is
-    //    irrelevant: a node's tick touches only its own state and its own
-    //    injection FIFO.
-    while let Some(&Reverse((c, i))) = sched.heap.peek() {
-        if c > now {
-            break;
-        }
-        sched.heap.pop();
-        let i = i as usize;
-        let l = i - base;
-        if sched.wake_at[l] != c {
-            continue; // superseded entry
-        }
-        sched.wake_at[l] = PARKED;
-        let node = &mut nodes[l];
-        let mut port = ShardPort {
-            shard: &mut *shard,
-            node: node.id(),
-        };
-        match node.tick(now, &mut port) {
-            TickOutcome::Busy { until } => sched.schedule(i, until.max(now + 1)),
-            TickOutcome::Idle => sched.idle_since[l] = now + 1,
-            TickOutcome::Stopped => {
-                if node.error().is_some() {
-                    sched.record_error(i);
+    // 2. Execute every node due this cycle. Both strategies visit due nodes
+    //    in ascending id order (equal-cycle heap entries pop in id order),
+    //    and a tick touches only its own node's state and injection FIFO,
+    //    so the strategy — and when `retune` switches it — is unobservable.
+    let mut ticked = 0usize;
+    match sched.mode {
+        ScanMode::Heap => {
+            while let Some(&Reverse((c, i))) = sched.heap.peek() {
+                if c > now {
+                    break;
                 }
+                sched.heap.pop();
+                let i = i as usize;
+                let l = i - base;
+                if sched.wake_at[l] != c {
+                    continue; // superseded entry
+                }
+                sched.wake_at[l] = PARKED;
+                tick_node(now, shard, sched, nodes, base, i);
+                ticked += 1;
             }
         }
-        sched.set_work(i, nodes[l].has_work());
+        ScanMode::Dense => {
+            for l in 0..sched.wake_at.len() {
+                // PARKED is u64::MAX, so parked nodes fail this test too.
+                if sched.wake_at[l] > now {
+                    continue;
+                }
+                sched.wake_at[l] = PARKED;
+                tick_node(now, shard, sched, nodes, base, base + l);
+                ticked += 1;
+            }
+        }
     }
+    sched.retune(ticked);
     // 3. Move this shard's routers (O(1) when no flits are buffered).
     shard.step_cycle(below, above);
+}
+
+/// Ticks one due node (already removed from the wake structures) and
+/// re-files it according to the outcome.
+#[inline]
+fn tick_node(
+    now: u64,
+    shard: &mut NetShard,
+    sched: &mut EventSched,
+    nodes: &mut [MdpNode],
+    base: usize,
+    i: usize,
+) {
+    let l = i - base;
+    let node = &mut nodes[l];
+    let mut port = ShardPort {
+        shard,
+        node: node.id(),
+    };
+    match node.tick(now, &mut port) {
+        TickOutcome::Busy { until } => sched.schedule(i, until.max(now + 1)),
+        TickOutcome::Idle => sched.idle_since[l] = now + 1,
+        TickOutcome::Stopped => {
+            if node.error().is_some() {
+                sched.record_error(i);
+            }
+        }
+    }
+    sched.set_work(i, nodes[l].has_work());
 }
 
 /// Sense-reversing spin barrier. The last arriver may run a closure (the

@@ -74,11 +74,12 @@ impl MdpNode {
             let retired = matches!(step, Step::Done { .. } | Step::End { .. });
             if retired {
                 self.stats.instructions += 1;
-                self.stats
-                    .handlers
-                    .entry(self.cur_handler[pi])
-                    .or_default()
-                    .instructions += 1;
+                let mut slot = self.handler_slot[pi];
+                if slot == usize::MAX {
+                    slot = self.stats.handlers.entry_slot(self.cur_handler[pi]);
+                    self.handler_slot[pi] = slot;
+                }
+                self.stats.handlers.slot_mut(slot).instructions += 1;
             }
             let cost = match step {
                 Step::Done { cost, next_ip } => {
@@ -117,6 +118,7 @@ impl MdpNode {
     }
 
     /// Resolves a memory reference to an absolute address.
+    #[inline]
     fn resolve_mem(&mut self, priority: Priority, m: MemRef) -> Result<u32, Hazard> {
         let bank = self.regs.bank(priority);
         let desc_word = bank.a[m.base.index()];
@@ -154,6 +156,7 @@ impl MdpNode {
 
     /// Reads the word at an absolute address, charging region cost into
     /// `extra`. Queue-window reads stall until the word has arrived.
+    #[inline]
     fn addressed_read(&mut self, addr: u32, extra: &mut u64) -> Result<Word, Hazard> {
         let t = &self.config.timing;
         if addr < MEM_WORDS {
@@ -193,6 +196,7 @@ impl MdpNode {
     }
 
     /// Writes the word at an absolute address, charging region cost.
+    #[inline]
     fn addressed_write(&mut self, addr: u32, word: Word, extra: &mut u64) -> Result<(), Hazard> {
         let t = &self.config.timing;
         if addr < MEM_WORDS {
@@ -217,6 +221,7 @@ impl MdpNode {
         ))
     }
 
+    #[inline]
     fn read_src(
         &mut self,
         priority: Priority,
@@ -277,6 +282,7 @@ impl MdpNode {
         }
     }
 
+    #[inline]
     fn write_dst(
         &mut self,
         priority: Priority,
@@ -300,6 +306,7 @@ impl MdpNode {
         }
     }
 
+    #[inline]
     fn alu2(&self, op: AluOp, a: Word, b: Word) -> Result<Word, Hazard> {
         use AluOp::*;
         let mismatch = |w: Word| Hazard::Fault(FaultKind::TagMismatch, w, Word::NIL);

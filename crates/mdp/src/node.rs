@@ -154,6 +154,10 @@ pub struct MdpNode {
     pub(crate) class: [StatClass; 3],
     /// Entry IP of the thread running in each bank (per-handler stats).
     pub(crate) cur_handler: [u32; 3],
+    /// Cached [`HandlerMap`](crate::stats::HandlerMap) slot of each bank's
+    /// `cur_handler` (`usize::MAX` until first touched), so the
+    /// per-instruction attribution is a plain indexed add.
+    pub(crate) handler_slot: [usize; 3],
     /// Per-bank message-composition buffers: words accumulated by `SEND`
     /// instructions, launched whole at the `SENDE`.
     pub(crate) compose: [Vec<Word>; 3],
@@ -266,6 +270,7 @@ impl MdpNode {
             msg_ctx: [None, None],
             class: [StatClass::Compute; 3],
             cur_handler,
+            handler_slot: [usize::MAX; 3],
             compose: Default::default(),
             commit_pending: [false; 3],
             in_fault: [false; 3],
@@ -579,7 +584,9 @@ impl MdpNode {
         }
         self.stats.threads += 1;
         self.stats.msgs_received += 1;
-        let entry = self.stats.handlers.entry(header.ip).or_default();
+        let slot = self.stats.handlers.entry_slot(header.ip);
+        self.handler_slot[priority.index()] = slot;
+        let entry = self.stats.handlers.slot_mut(slot);
         entry.threads += 1;
         entry.msg_words += u64::from(header.len);
         let cost = self.config.timing.dispatch;

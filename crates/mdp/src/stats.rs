@@ -3,7 +3,6 @@
 
 use jm_isa::consts::FaultKind;
 use jm_isa::instr::StatClass;
-use std::collections::HashMap;
 
 /// Aggregate statistics for one handler entry point (one "thread type" in
 /// the paper's Table 4 terminology).
@@ -37,6 +36,90 @@ impl HandlerStats {
     }
 }
 
+/// Per-handler statistics table, keyed by entry instruction index.
+///
+/// Backed by parallel vectors rather than a hash map: the executor bumps a
+/// handler's instruction count on *every retired instruction*, and a node
+/// only ever runs a handful of distinct handlers, so a cached slot index
+/// (see `MdpNode::handler_slot`) turns the hot-path update into a plain
+/// indexed add. Slots are assigned in first-touch order and never move.
+#[derive(Debug, Clone, Default, Eq)]
+pub struct HandlerMap {
+    ips: Vec<u32>,
+    stats: Vec<HandlerStats>,
+}
+
+impl HandlerMap {
+    /// Slot index for `ip`, creating a zeroed entry on first touch.
+    pub fn entry_slot(&mut self, ip: u32) -> usize {
+        match self.ips.iter().position(|&k| k == ip) {
+            Some(slot) => slot,
+            None => {
+                self.ips.push(ip);
+                self.stats.push(HandlerStats::default());
+                self.ips.len() - 1
+            }
+        }
+    }
+
+    /// The entry for `ip`, created zeroed if absent.
+    pub fn entry(&mut self, ip: u32) -> &mut HandlerStats {
+        let slot = self.entry_slot(ip);
+        &mut self.stats[slot]
+    }
+
+    /// Direct access by a slot index previously returned by
+    /// [`HandlerMap::entry_slot`] (the per-instruction hot path).
+    #[inline]
+    pub fn slot_mut(&mut self, slot: usize) -> &mut HandlerStats {
+        &mut self.stats[slot]
+    }
+
+    /// The entry for `ip`, if any instruction or dispatch touched it.
+    pub fn get(&self, ip: &u32) -> Option<&HandlerStats> {
+        self.ips
+            .iter()
+            .position(|k| k == ip)
+            .map(|slot| &self.stats[slot])
+    }
+
+    /// Inserts or replaces the entry for `ip`.
+    pub fn insert(&mut self, ip: u32, stats: HandlerStats) {
+        let slot = self.entry_slot(ip);
+        self.stats[slot] = stats;
+    }
+
+    /// Iterates `(ip, stats)` pairs in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &HandlerStats)> {
+        self.ips.iter().copied().zip(self.stats.iter())
+    }
+
+    /// Number of distinct handlers recorded.
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Whether no handler was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+}
+
+impl std::ops::Index<&u32> for HandlerMap {
+    type Output = HandlerStats;
+    fn index(&self, ip: &u32) -> &HandlerStats {
+        self.get(ip).expect("no stats recorded for handler")
+    }
+}
+
+// Equality ignores slot order (first-touch order can differ between a
+// per-node table and a machine-level merge).
+impl PartialEq for HandlerMap {
+    fn eq(&self, other: &HandlerMap) -> bool {
+        self.ips.len() == other.ips.len() && self.iter().all(|(ip, h)| other.get(&ip) == Some(h))
+    }
+}
+
 /// Counters for one node.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStats {
@@ -63,7 +146,7 @@ pub struct NodeStats {
     /// Cycles stalled waiting for message words to arrive.
     pub arrival_stalls: u64,
     /// Per-handler thread statistics, keyed by entry instruction index.
-    pub handlers: HashMap<u32, HandlerStats>,
+    pub handlers: HandlerMap,
 }
 
 impl NodeStats {
@@ -111,8 +194,8 @@ impl NodeStats {
             *a += b;
         }
         self.arrival_stalls += other.arrival_stalls;
-        for (ip, h) in &other.handlers {
-            let entry = self.handlers.entry(*ip).or_default();
+        for (ip, h) in other.handlers.iter() {
+            let entry = self.handlers.entry(ip);
             entry.threads += h.threads;
             entry.instructions += h.instructions;
             entry.msg_words += h.msg_words;

@@ -1,0 +1,298 @@
+//! Structure-of-arrays channel arenas: every input buffer of every router
+//! in a shard, carved out of flat per-shard vectors allocated once.
+//!
+//! The per-router `VecDeque` layout this replaces cost the load-dominated
+//! regime twice: 14 separately-heap-allocated deques per router scattered
+//! the advance loop's working set across the heap, and every front/pop
+//! touched deque bookkeeping designed for growth the fixed-capacity
+//! channels never need. Here each `(router, vnet, port)` queue is a
+//! fixed-capacity ring at a computed offset in one `Vec<Flit>`, with heads,
+//! lengths, non-empty port masks, credit timestamps, and output ownership
+//! in parallel flat arrays — so a scan over routers walks contiguous
+//! memory, and "which ports hold flits" is one byte per (router, vnet).
+//!
+//! Indexing: queue `qi = (router * 2 + vnet) * 7 + port`. Ports 0–5 are the
+//! mesh directions (capacity `flit_buffer`); port 6 is the injection FIFO
+//! (capacity `inject_fifo`).
+
+use crate::flit::Flit;
+
+/// Number of ports per (router, vnet): six directions plus injection.
+const PORTS: usize = 7;
+/// The injection port index within a (router, vnet) block.
+const INJECT: usize = 6;
+
+/// All channel buffers of one shard, structure-of-arrays.
+#[derive(Debug)]
+pub(crate) struct ChannelArena {
+    /// Ring storage for every queue, at fixed computed offsets.
+    flits: Vec<Flit>,
+    /// Ring head index per queue.
+    head: Vec<u8>,
+    /// Flits currently stored per queue.
+    len: Vec<u8>,
+    /// Per (router, vnet): bit `p` set iff queue `p` is non-empty. The
+    /// advance loop iterates set bits instead of probing all 7 ports.
+    mask: Vec<u8>,
+    /// Cycle at which each queue last had a flit popped (`u64::MAX` =
+    /// never). Lets [`ChannelArena::space`] report *start-of-cycle*
+    /// occupancy: a slot freed earlier in the same cycle is not yet visible
+    /// to upstream senders, exactly as if every router read its neighbors'
+    /// credits at the cycle boundary — which makes the space check
+    /// independent of router scan order, and therefore of sharding.
+    popped_at: Vec<u64>,
+    /// Output ownership per (router, vnet, out port): the input port a
+    /// wormhole path holds the output for, or `-1` when unowned.
+    owners: Vec<i8>,
+    /// Capacity of the directional ports (0–5), in flits.
+    flit_buffer: u8,
+    /// Capacity of the injection port (6), in flits.
+    inject_fifo: u8,
+    /// Flits per (router, vnet) block: `6 * flit_buffer + inject_fifo`.
+    block: usize,
+}
+
+/// A placeholder flit for unoccupied ring slots (never read).
+fn nil_flit() -> Flit {
+    Flit {
+        dest: jm_isa::node::Coord::new(0, 0, 0),
+        payload: None,
+        head: false,
+        tail: false,
+        priority: jm_isa::instr::MsgPriority::P0,
+        inject_cycle: 0,
+        ready_cycle: 0,
+        trace: jm_isa::TraceId::NONE,
+    }
+}
+
+impl ChannelArena {
+    /// Allocates the arena for `routers` routers. Done once per shard; the
+    /// advance loop never allocates.
+    pub(crate) fn new(routers: usize, flit_buffer: usize, inject_fifo: usize) -> ChannelArena {
+        assert!(
+            flit_buffer > 0 && flit_buffer <= u8::MAX as usize,
+            "flit buffer depth must fit the arena's u8 rings"
+        );
+        assert!(
+            inject_fifo > 0 && inject_fifo <= u8::MAX as usize,
+            "inject FIFO depth must fit the arena's u8 rings"
+        );
+        let block = 6 * flit_buffer + inject_fifo;
+        let queues = routers * 2 * PORTS;
+        ChannelArena {
+            flits: vec![nil_flit(); routers * 2 * block],
+            head: vec![0; queues],
+            len: vec![0; queues],
+            mask: vec![0; routers * 2],
+            popped_at: vec![u64::MAX; queues],
+            owners: vec![-1; queues],
+            flit_buffer: flit_buffer as u8,
+            inject_fifo: inject_fifo as u8,
+            block,
+        }
+    }
+
+    /// Queue index of `(router, vnet, port)`.
+    #[inline]
+    fn qi(l: usize, vnet: usize, port: usize) -> usize {
+        (l * 2 + vnet) * PORTS + port
+    }
+
+    /// Ring capacity of `port`.
+    #[inline]
+    fn cap(&self, port: usize) -> usize {
+        if port == INJECT {
+            self.inject_fifo as usize
+        } else {
+            self.flit_buffer as usize
+        }
+    }
+
+    /// Offset of the ring for `(router, vnet, port)` in `flits`.
+    #[inline]
+    fn ring_base(&self, l: usize, vnet: usize, port: usize) -> usize {
+        (l * 2 + vnet) * self.block + port * self.flit_buffer as usize
+    }
+
+    /// Non-empty-port mask for `(router, vnet)`.
+    #[inline]
+    pub(crate) fn port_mask(&self, l: usize, vnet: usize) -> u8 {
+        self.mask[l * 2 + vnet]
+    }
+
+    /// Flits queued at `(router, vnet, port)`.
+    #[inline]
+    pub(crate) fn len(&self, l: usize, vnet: usize, port: usize) -> usize {
+        self.len[Self::qi(l, vnet, port)] as usize
+    }
+
+    /// The queue's front flit, by reference (the advance loop probes many
+    /// fronts it never moves — copying the whole flit per probe would
+    /// dominate the scan). Callers on the hot path check the port mask
+    /// first, so an empty queue is a logic error.
+    #[inline]
+    pub(crate) fn front(&self, l: usize, vnet: usize, port: usize) -> &Flit {
+        let qi = Self::qi(l, vnet, port);
+        debug_assert!(self.len[qi] > 0, "front of empty queue");
+        &self.flits[self.ring_base(l, vnet, port) + self.head[qi] as usize]
+    }
+
+    /// Appends a flit.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the ring has room — capacity checks (credits, FIFO
+    /// depth) happen before any push.
+    #[inline]
+    pub(crate) fn push(&mut self, l: usize, vnet: usize, port: usize, flit: Flit) {
+        let qi = Self::qi(l, vnet, port);
+        let cap = self.cap(port);
+        let len = self.len[qi] as usize;
+        debug_assert!(len < cap, "channel ring over capacity");
+        let mut slot = self.head[qi] as usize + len;
+        if slot >= cap {
+            slot -= cap;
+        }
+        let base = self.ring_base(l, vnet, port);
+        self.flits[base + slot] = flit;
+        self.len[qi] = (len + 1) as u8;
+        self.mask[l * 2 + vnet] |= 1 << port;
+    }
+
+    /// Pops the front flit, recording `cycle` as the pop cycle (for
+    /// start-of-cycle credit masking).
+    #[inline]
+    pub(crate) fn pop(&mut self, l: usize, vnet: usize, port: usize, cycle: u64) -> Flit {
+        let qi = Self::qi(l, vnet, port);
+        let len = self.len[qi] as usize;
+        debug_assert!(len > 0, "pop of empty queue");
+        let cap = self.cap(port);
+        let head = self.head[qi] as usize;
+        let flit = self.flits[self.ring_base(l, vnet, port) + head];
+        let mut next = head + 1;
+        if next >= cap {
+            next -= cap;
+        }
+        self.head[qi] = next as u8;
+        self.len[qi] = (len - 1) as u8;
+        if len == 1 {
+            self.mask[l * 2 + vnet] &= !(1 << port);
+        }
+        self.popped_at[qi] = cycle;
+        flit
+    }
+
+    /// Free flit slots in a queue *at the start of cycle `cycle`*: a flit
+    /// popped from the queue earlier in the same cycle still counts as
+    /// occupying its slot (credit updates propagate at cycle boundaries).
+    ///
+    /// Over-capacity occupancy would mean a credit-accounting bug upstream;
+    /// it fails a `debug_assert!` so tests see it loudly (release builds
+    /// saturate to 0, which only ever under-reports space).
+    #[inline]
+    pub(crate) fn space(&self, l: usize, vnet: usize, port: usize, cycle: u64) -> usize {
+        let qi = Self::qi(l, vnet, port);
+        let len = self.len[qi] as usize;
+        // At most one flit crosses a channel per cycle, and its sender
+        // checks space *before* pushing — so when this runs, no same-cycle
+        // push can already sit in the buffer.
+        debug_assert!(
+            len == 0 || {
+                let cap = self.cap(port);
+                let mut back = self.head[qi] as usize + len - 1;
+                if back >= cap {
+                    back -= cap;
+                }
+                self.flits[self.ring_base(l, vnet, port) + back].ready_cycle <= cycle
+            },
+            "space read after a same-cycle push"
+        );
+        let capacity = self.cap(port);
+        let occupied = len + usize::from(self.popped_at[qi] == cycle);
+        debug_assert!(
+            occupied <= capacity,
+            "input buffer over capacity: {occupied} > {capacity}"
+        );
+        capacity.saturating_sub(occupied)
+    }
+
+    /// The input port owning `(router, vnet, out port)`, or `-1`.
+    #[inline]
+    pub(crate) fn owner(&self, l: usize, vnet: usize, out: usize) -> i8 {
+        self.owners[Self::qi(l, vnet, out)]
+    }
+
+    /// Sets (or clears, with `-1`) the owner of an output port.
+    #[inline]
+    pub(crate) fn set_owner(&mut self, l: usize, vnet: usize, out: usize, owner: i8) {
+        self.owners[Self::qi(l, vnet, out)] = owner;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(ready: u64) -> Flit {
+        Flit {
+            ready_cycle: ready,
+            ..nil_flit()
+        }
+    }
+
+    #[test]
+    fn rings_wrap_and_track_mask() {
+        let mut a = ChannelArena::new(2, 4, 8);
+        assert_eq!(a.port_mask(1, 0), 0);
+        for i in 0..4 {
+            a.push(1, 0, 2, flit(i));
+        }
+        assert_eq!(a.len(1, 0, 2), 4);
+        assert_eq!(a.port_mask(1, 0), 1 << 2);
+        // Drain two, refill two: the ring wraps.
+        assert_eq!(a.pop(1, 0, 2, 10).ready_cycle, 0);
+        assert_eq!(a.pop(1, 0, 2, 10).ready_cycle, 1);
+        a.push(1, 0, 2, flit(4));
+        a.push(1, 0, 2, flit(5));
+        for want in 2..6 {
+            assert_eq!(a.pop(1, 0, 2, 11).ready_cycle, want);
+        }
+        assert_eq!(a.port_mask(1, 0), 0);
+    }
+
+    #[test]
+    fn space_masks_same_cycle_pops() {
+        let mut a = ChannelArena::new(1, 4, 8);
+        a.push(0, 1, 3, flit(0));
+        a.push(0, 1, 3, flit(0));
+        assert_eq!(a.space(0, 1, 3, 5), 2);
+        a.pop(0, 1, 3, 5);
+        // The freed slot is invisible until the next cycle.
+        assert_eq!(a.space(0, 1, 3, 5), 2);
+        assert_eq!(a.space(0, 1, 3, 6), 3);
+    }
+
+    #[test]
+    fn owners_default_unowned() {
+        let mut a = ChannelArena::new(1, 4, 8);
+        assert_eq!(a.owner(0, 0, 4), -1);
+        a.set_owner(0, 0, 4, 6);
+        assert_eq!(a.owner(0, 0, 4), 6);
+        a.set_owner(0, 0, 4, -1);
+        assert_eq!(a.owner(0, 0, 4), -1);
+    }
+
+    #[test]
+    fn inject_port_uses_its_own_capacity() {
+        let mut a = ChannelArena::new(1, 2, 6);
+        for _ in 0..6 {
+            a.push(0, 0, 6, flit(0));
+        }
+        assert_eq!(a.len(0, 0, 6), 6);
+        for _ in 0..6 {
+            a.pop(0, 0, 6, 1);
+        }
+        assert_eq!(a.len(0, 0, 6), 0);
+    }
+}

@@ -2,6 +2,26 @@
 
 use jm_isa::node::MeshDims;
 
+/// How a shard's advance loop finds routers holding flits.
+///
+/// `Auto` (the default) flips between iterating the active-router bitset
+/// (sparse traffic) and a dense linear scan of the occupancy array
+/// (saturated traffic), keyed on the measured active-router count with
+/// hysteresis — up-switch at 5/8 of the shard's routers, down-switch at
+/// 1/4, so traffic hovering near one threshold cannot thrash the mode.
+/// The strategies visit the same routers in the same ascending order, so
+/// the choice is unobservable in simulated state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// Congestion-aware switching with hysteresis.
+    #[default]
+    Auto,
+    /// Always iterate the active-router bitset.
+    ForcedSparse,
+    /// Always scan every router's occupancy linearly.
+    ForcedDense,
+}
+
 /// Configuration of the mesh network.
 ///
 /// Defaults model the prototype's parameters; buffer depths are the small
@@ -22,6 +42,12 @@ pub struct NetConfig {
     /// Ejection FIFO depth in words, per priority (the network-interface
     /// staging between the router and the message queue).
     pub eject_fifo: usize,
+    /// Advance-loop scan strategy (auto-switching by default).
+    pub scan: ScanPolicy,
+    /// Whether a message committed into an otherwise-empty single-shard
+    /// mesh may take the wormhole bulk-advance fast path (cycle-exact; see
+    /// `shard::BulkMsg`). Off is only useful for differential testing.
+    pub bulk: bool,
 }
 
 impl NetConfig {
@@ -33,6 +59,8 @@ impl NetConfig {
             inject_fifo: 64,
             inject_latency: 2,
             eject_fifo: 8,
+            scan: ScanPolicy::default(),
+            bulk: true,
         }
     }
 

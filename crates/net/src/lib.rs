@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod arena;
 mod bitset;
 mod config;
 mod flit;
@@ -54,7 +55,7 @@ mod shard;
 mod stats;
 
 pub use bitset::BitSet;
-pub use config::NetConfig;
+pub use config::{NetConfig, ScanPolicy};
 pub use flit::Flit;
 pub use network::Network;
 pub use router::OutPort;

@@ -1,8 +1,8 @@
-//! Per-node router state: input buffers, output ownership, ejection staging,
-//! and injection framing.
+//! Per-node router state that stays per-router: ejection staging and
+//! injection framing. The channel buffers, output ownership, and credit
+//! timestamps live in the shard's flat [`crate::arena::ChannelArena`]
+//! instead, so the advance loop scans contiguous memory.
 
-use crate::flit::Flit;
-use jm_isa::instr::MsgPriority;
 use jm_isa::node::Coord;
 use jm_isa::word::Word;
 use jm_isa::TraceId;
@@ -56,12 +56,8 @@ impl OutPort {
     }
 }
 
-/// Number of input ports: six directional channels plus injection.
-pub(crate) const IN_PORTS: usize = 7;
 /// Index of the injection input port.
 pub(crate) const IN_INJECT: usize = 6;
-/// Number of output ports: six directional channels plus ejection.
-pub(crate) const OUT_PORTS: usize = 7;
 /// Index of the ejection output port.
 pub(crate) const OUT_EJECT: usize = 6;
 
@@ -103,14 +99,13 @@ pub(crate) struct InjectState {
     pub trace: TraceId,
 }
 
-/// One node's router.
+/// One node's router: the state that is *not* channel buffering. The input
+/// rings, output ownership, occupancy, and credit timestamps live in the
+/// shard's [`crate::arena::ChannelArena`] (structure-of-arrays), leaving
+/// the router struct for the colder ejection/injection interface state.
 #[derive(Debug, Clone)]
 pub(crate) struct Router {
     pub coord: Coord,
-    /// Input buffers: `[vnet][in_port]`. Port 6 is the injection FIFO.
-    pub inputs: [[VecDeque<Flit>; IN_PORTS]; 2],
-    /// Output ownership: `[vnet][out_port]` → owning input port.
-    pub owners: [[Option<usize>; OUT_PORTS]; 2],
     /// Ejected payload words awaiting the node (paired with the delivering
     /// message's trace id), per vnet.
     pub ejected: [VecDeque<(Word, TraceId)>; 2],
@@ -128,68 +123,17 @@ pub(crate) struct Router {
     /// payload word, cleared by the tail flit), so it needs no knowledge of
     /// message contents.
     pub eject_hdr_seen: [bool; 2],
-    /// Total flits across all input buffers (cheap activity check).
-    pub occupancy: u32,
-    /// Cycle at which each input buffer last had a flit popped
-    /// (`[vnet][in_port]`, `u64::MAX` = never). Lets [`Router::space`]
-    /// report *start-of-cycle* occupancy: a slot freed earlier in the same
-    /// cycle is not yet visible to upstream senders, exactly as if every
-    /// router read its neighbors' credits at the cycle boundary. This makes
-    /// the space check independent of router scan order — and therefore of
-    /// how the mesh is sharded across worker threads.
-    pub popped_at: [[u64; IN_PORTS]; 2],
 }
 
 impl Router {
     pub(crate) fn new(coord: Coord) -> Router {
         Router {
             coord,
-            inputs: Default::default(),
-            owners: Default::default(),
             ejected: Default::default(),
             inject: Default::default(),
             eject_cur: [TraceId::NONE; 2],
             eject_hdr_seen: [false; 2],
-            occupancy: 0,
-            popped_at: [[u64::MAX; IN_PORTS]; 2],
         }
-    }
-
-    /// Whether any work could possibly happen at this router.
-    #[inline]
-    pub(crate) fn is_idle(&self) -> bool {
-        self.occupancy == 0
-    }
-
-    /// Free flit slots in an input buffer *at the start of cycle `cycle`*:
-    /// a flit popped from the buffer earlier in the same cycle still counts
-    /// as occupying its slot (credit updates propagate at cycle boundaries).
-    ///
-    /// Over-capacity occupancy would mean a credit-accounting bug upstream;
-    /// it fails a `debug_assert!` so tests see it loudly (release builds
-    /// saturate to 0, which only ever under-reports space).
-    #[inline]
-    pub(crate) fn space(
-        &self,
-        vnet: MsgPriority,
-        in_port: usize,
-        capacity: usize,
-        cycle: u64,
-    ) -> usize {
-        let buf = &self.inputs[vnet.index()][in_port];
-        // At most one flit crosses a channel per cycle, and its sender
-        // checks space *before* pushing — so when this runs, no same-cycle
-        // push can already sit in the buffer.
-        debug_assert!(
-            buf.back().is_none_or(|f| f.ready_cycle <= cycle),
-            "space read after a same-cycle push"
-        );
-        let occupied = buf.len() + usize::from(self.popped_at[vnet.index()][in_port] == cycle);
-        debug_assert!(
-            occupied <= capacity,
-            "input buffer over capacity: {occupied} > {capacity}"
-        );
-        capacity.saturating_sub(occupied)
     }
 }
 

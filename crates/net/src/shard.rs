@@ -19,7 +19,7 @@
 //!    publishes those buffers' free space for its neighbors' next step.
 //!
 //! Determinism: within a cycle, the only cross-router data a step reads is
-//! *downstream input-buffer space*. [`crate::router::Router::space`] reports
+//! *downstream input-buffer space*. [`ChannelArena::space`] reports
 //! start-of-cycle occupancy (same-cycle pops are masked via `popped_at`), and
 //! the edge snapshots are by construction start-of-cycle values — so the
 //! space a sender observes is independent of the order routers are visited,
@@ -30,14 +30,15 @@
 //! caller) is the only synchronization the scheme needs; the snapshot is
 //! single-buffered because phase 1 only reads it and phase 2 only writes it.
 
+use crate::arena::ChannelArena;
 use crate::bitset::BitSet;
-use crate::config::NetConfig;
+use crate::config::{NetConfig, ScanPolicy};
 use crate::flit::Flit;
 use crate::router::{ecube_route, Router, IN_INJECT, OUT_EJECT};
 use crate::stats::NetStats;
 use jm_fault::{checksum_words, FaultPlan};
 use jm_isa::instr::MsgPriority;
-use jm_isa::node::{Coord, NodeId, RouteWord};
+use jm_isa::node::{NodeId, RouteWord};
 use jm_isa::tag::Tag;
 use jm_isa::word::Word;
 use jm_isa::TraceId;
@@ -63,6 +64,55 @@ pub enum InjectResult {
 const OUT_ZPOS: usize = 4;
 /// Output-port index of the −z channel (the only down-crossing direction).
 const OUT_ZNEG: usize = 5;
+
+/// A shard needs at least this many routers before a dense occupancy scan
+/// can beat iterating the active bitset.
+const DENSE_MIN_ROUTERS: usize = 16;
+
+/// A message streaming through an otherwise-empty mesh on the wormhole
+/// bulk-advance fast path.
+///
+/// When [`NetShard::commit_msg`] accepts a message into a single-shard mesh
+/// holding no other flits (and no fault plan), the flit-by-flit outcome is
+/// fully determined: the flits drain from the injection FIFO one per cycle
+/// and pipeline along the e-cube route one hop per cycle with nothing to
+/// contend with. Instead of buffering them, the shard records the message
+/// here and [`NetShard::step_bulk`] replays the closed-form timing — flit
+/// `f` (0-based) makes its move out of hop position `m` at cycle
+/// `q + f + m`, and ejects at `q + f + H` — emitting the same statistics,
+/// deliveries, and trace events at the same cycles the buffered path would.
+///
+/// The flits stay *virtual* only while nothing can observe them: any new
+/// injection while a bulk message is in flight first calls
+/// [`NetShard::materialize_bulk`], which reconstructs the exact buffered
+/// state (positions, ready cycles, port ownership) and continues on the
+/// ordinary path. Runs with a fault plan installed never engage the bulk
+/// path at all, so fault accounting stays on the one flit-by-flit code
+/// path.
+#[derive(Debug)]
+struct BulkMsg {
+    /// The message's flits, exactly as the injection FIFO would hold them.
+    flits: Vec<Flit>,
+    /// Local router index at each hop position; `path[0]` is the source,
+    /// the last entry the destination.
+    path: Vec<u32>,
+    /// Out port taken from `path[m]` (one per hop; ejection is implicit).
+    outs: Vec<u8>,
+    /// Hop positions whose channel crosses the bisection mid-plane.
+    bisect: Vec<u32>,
+    /// Cycle of the first flit's first move (commit cycle + inject
+    /// latency).
+    q: u64,
+    /// Virtual network carrying the message.
+    vnet: usize,
+}
+
+/// Neighbor-table flag: the channel crosses a slab boundary.
+const NEIGH_BOUNDARY: u32 = 1 << 31;
+/// Neighbor-table flag: a boundary crossing in the −z direction.
+const NEIGH_DOWN: u32 = 1 << 30;
+/// Neighbor-table mask for the global node id of a boundary neighbor.
+const NEIGH_ID: u32 = (1 << 30) - 1;
 
 /// The interface between two vertically adjacent shards: mailboxes carrying
 /// boundary-crossing flits, and published space snapshots for the boundary
@@ -113,12 +163,26 @@ pub struct NetShard {
     /// First global node id owned by this shard.
     base: usize,
     routers: Vec<Router>,
+    /// Every channel buffer of every router, structure-of-arrays (flat
+    /// rings allocated once; the advance loop never allocates).
+    arena: ChannelArena,
+    /// Buffered flits per local router (the advance loop's activity check,
+    /// kept flat so the dense scan walks one contiguous array).
+    occ: Vec<u32>,
+    /// Whether the advance loop currently scans densely (see
+    /// [`ScanPolicy`]); retuned each cycle from the active-router count.
+    scan_dense: bool,
+    /// Precomputed neighbor of every (local router, directional out port):
+    /// the neighbor's *local* index, or `NEIGH_BOUNDARY` (+`NEIGH_DOWN`)
+    /// with the neighbor's global id for slab-crossing z channels —
+    /// replacing per-move coordinate arithmetic with one table load.
+    /// Off-mesh directions hold `u32::MAX` (e-cube never routes off-mesh).
+    neigh: Vec<[u32; 6]>,
+    /// Per-router bitmask of out ports whose channel crosses the bisection
+    /// mid-plane (for the traffic counters).
+    bisect_out: Vec<u8>,
     cycle: u64,
     stats: NetStats,
-    /// Dimension bisected for traffic accounting (0 = x, 1 = y, 2 = z).
-    bisect_dim: usize,
-    /// Crossing boundary: between coordinates `mid - 1` and `mid`.
-    bisect_mid: u8,
     /// Flits currently buffered in *this shard* (a flit handed to an edge
     /// mailbox leaves the sender's count and joins the receiver's at drain).
     in_flight: u64,
@@ -129,6 +193,10 @@ pub struct NetShard {
     eject_pending: BitSet,
     /// Scratch buffer for the active-set snapshot taken by `step_cycle`.
     scratch: Vec<u32>,
+    /// The message currently streaming on the bulk fast path, if any.
+    /// Invariant: while set, the shard holds no buffered flits — every
+    /// in-flight flit belongs to this message and is virtual.
+    bulk: Option<BulkMsg>,
     /// Lifecycle-event buffer; `None` (the default) disables tracing, so
     /// the hot paths pay one pointer test.
     pub(crate) tracer: Option<Box<Tracer>>,
@@ -147,21 +215,63 @@ impl NetShard {
         bisect_mid: u8,
     ) -> NetShard {
         let dims = config.dims;
-        let routers = (base..base + len)
+        let routers: Vec<Router> = (base..base + len)
             .map(|id| Router::new(dims.coord(NodeId(id as u32))))
             .collect();
+        let mut neigh = vec![[u32::MAX; 6]; len];
+        let mut bisect_out = vec![0u8; len];
+        for (l, router) in routers.iter().enumerate() {
+            let here = router.coord;
+            for (out, (dim, step)) in [(0i8, 1i8), (0, -1), (1, 1), (1, -1), (2, 1), (2, -1)]
+                .into_iter()
+                .enumerate()
+            {
+                let coord = [here.x, here.y, here.z][dim as usize];
+                let extent = [dims.x, dims.y, dims.z][dim as usize];
+                if (step > 0 && coord + 1 >= extent) || (step < 0 && coord == 0) {
+                    continue; // off-mesh: e-cube never routes there
+                }
+                let mut c = here;
+                match out {
+                    0 => c.x += 1,
+                    1 => c.x -= 1,
+                    2 => c.y += 1,
+                    3 => c.y -= 1,
+                    4 => c.z += 1,
+                    _ => c.z -= 1,
+                }
+                let m = dims.id(c).index();
+                let ml = m.wrapping_sub(base);
+                neigh[l][out] = if ml < len {
+                    ml as u32
+                } else if out == OUT_ZPOS {
+                    NEIGH_BOUNDARY | m as u32
+                } else {
+                    NEIGH_BOUNDARY | NEIGH_DOWN | m as u32
+                };
+                if bisect_mid != 0 && dim as usize == bisect_dim {
+                    let crosses =
+                        (step > 0 && coord == bisect_mid - 1) || (step < 0 && coord == bisect_mid);
+                    bisect_out[l] |= u8::from(crosses) << out;
+                }
+            }
+        }
         NetShard {
+            arena: ChannelArena::new(len, config.flit_buffer, config.inject_fifo),
+            occ: vec![0; len],
+            scan_dense: config.scan == ScanPolicy::ForcedDense,
+            neigh,
+            bisect_out,
             config,
             base,
             routers,
             cycle: 0,
             stats: NetStats::default(),
-            bisect_dim,
-            bisect_mid,
             in_flight: 0,
             active: BitSet::new(len),
             eject_pending: BitSet::new(len),
             scratch: Vec::new(),
+            bulk: None,
             tracer: None,
             fault: None,
         }
@@ -206,8 +316,21 @@ impl NetShard {
     }
 
     /// Local router indices currently holding buffered flits.
+    ///
+    /// During a bulk flight the flits are virtual, so the count is derived
+    /// from the timing law instead of the (empty) active set: flit `f` sits
+    /// at hop position `done = clamp(cycle − q − f, 0, hops)` (position 0 is
+    /// the source's inject FIFO), and because `done` falls by one per flit
+    /// index the occupied positions form one contiguous range. Occupancy
+    /// samples taken mid-flight must match the slow path bit for bit.
     pub(crate) fn active_count(&self) -> u32 {
-        self.active.count() as u32
+        let buffered = self.active.count() as u32;
+        let Some(b) = &self.bulk else { return buffered };
+        let hops = b.path.len() as i64 - 1;
+        let rel = self.cycle as i64 - b.q as i64;
+        let hi = rel.clamp(0, hops);
+        let lo = (rel - (b.flits.len() as i64 - 1)).clamp(0, hops);
+        buffered + (hi - lo + 1) as u32
     }
 
     /// Whether this shard holds no flits and no undelivered words.
@@ -277,6 +400,11 @@ impl NetShard {
         word: Word,
         end: bool,
     ) -> InjectResult {
+        // A new injection can observe (and contend with) in-flight traffic,
+        // so a virtual bulk message must become real buffered flits first.
+        if self.bulk.is_some() {
+            self.materialize_bulk();
+        }
         let cycle = self.cycle;
         let inject_latency = self.config.inject_latency;
         let fifo_cap = self.config.inject_fifo;
@@ -285,11 +413,11 @@ impl NetShard {
         if self.node_down_stall(node, cycle) {
             return InjectResult::Stall;
         }
-        let router = &mut self.routers[l];
         let vnet = priority.index();
-        if router.inputs[vnet][IN_INJECT].len() + 2 > fifo_cap {
+        if self.arena.len(l, vnet, IN_INJECT) + 2 > fifo_cap {
             return InjectResult::Stall;
         }
+        let router = &mut self.routers[l];
         let framing = &mut router.inject[vnet];
         let (dest, is_route, head_word) = match framing.dest {
             None => {
@@ -343,9 +471,9 @@ impl NetShard {
             trace,
         );
         for flit in pair {
-            router.inputs[vnet][IN_INJECT].push_back(flit);
+            self.arena.push(l, vnet, IN_INJECT, flit);
         }
-        router.occupancy += 2;
+        self.occ[l] += 2;
         self.in_flight += 2;
         self.active.insert(l);
         InjectResult::Accepted
@@ -362,6 +490,11 @@ impl NetShard {
         priority: MsgPriority,
         words: &[Word],
     ) -> InjectResult {
+        // See `inject`: new traffic ends the current bulk message's
+        // virtual flight before any capacity check reads the arena.
+        if self.bulk.is_some() {
+            self.materialize_bulk();
+        }
         let cycle = self.cycle;
         let inject_latency = self.config.inject_latency;
         let fifo_cap = self.config.inject_fifo;
@@ -393,14 +526,13 @@ impl NetShard {
             }
             _ => words,
         };
-        let router = &mut self.routers[l];
-        if router.inject[vnet].dest.is_some() {
+        if self.routers[l].inject[vnet].dest.is_some() {
             // A word-wise injection is mid-message on this port; mixing
             // the two APIs is a programming error.
             return InjectResult::BadRoute;
         }
         let needed = 2 * words.len();
-        if router.inputs[vnet][IN_INJECT].len() + needed > fifo_cap {
+        if self.arena.len(l, vnet, IN_INJECT) + needed > fifo_cap {
             return InjectResult::Stall;
         }
         self.stats.injected_msgs += 1;
@@ -421,6 +553,9 @@ impl NetShard {
             }
             None => TraceId::NONE,
         };
+        if self.try_bulk(l, priority, dest, words, cycle, trace) {
+            return InjectResult::Accepted;
+        }
         for (i, &word) in words.iter().enumerate() {
             let pair = Flit::pair_for_word(
                 dest,
@@ -434,13 +569,244 @@ impl NetShard {
                 trace,
             );
             for flit in pair {
-                router.inputs[vnet][IN_INJECT].push_back(flit);
+                self.arena.push(l, vnet, IN_INJECT, flit);
             }
         }
-        router.occupancy += needed as u32;
+        self.occ[l] += needed as u32;
         self.in_flight += needed as u64;
         self.active.insert(l);
         InjectResult::Accepted
+    }
+
+    /// Attempts to commit `words` as a virtual bulk-advance message (see
+    /// [`BulkMsg`]). Returns `false` — leaving all state untouched — unless
+    /// the flit-by-flit outcome is fully determined: a single shard covering
+    /// the whole mesh, no other flit in flight, no fault plan, a clear
+    /// (unowned) route, deep-enough channel buffers to pipeline at full
+    /// rate, and an ejection FIFO that cannot stall even if the destination
+    /// node drains nothing before the tail arrives.
+    fn try_bulk(
+        &mut self,
+        l: usize,
+        priority: MsgPriority,
+        dest: jm_isa::node::Coord,
+        words: &[Word],
+        cycle: u64,
+        trace: TraceId,
+    ) -> bool {
+        let dims = self.config.dims;
+        let nodes = dims.x as usize * dims.y as usize * dims.z as usize;
+        let vnet = priority.index();
+        let dest_l = dims.id(dest).index();
+        if !self.config.bulk
+            || self.fault.is_some()
+            || self.in_flight != 0
+            || self.base != 0
+            || self.routers.len() != nodes
+            // Full-rate pipelining needs one slot of slack over the
+            // same-cycle credit mask.
+            || self.config.flit_buffer < 2
+            || !self.routers[dest_l].ejected[vnet].is_empty()
+            || words.len() - 1 > self.config.eject_fifo
+        {
+            return false;
+        }
+        debug_assert!(self.bulk.is_none(), "bulk engaged while one is in flight");
+        // Walk the e-cube route, collecting hops and checking that no
+        // output port along it is still held by an earlier wormhole (a
+        // partially-injected message can leave ownership behind with zero
+        // flits in flight).
+        let mut path = vec![l as u32];
+        let mut outs: Vec<u8> = Vec::new();
+        let mut bisect: Vec<u32> = Vec::new();
+        let mut here = self.routers[l].coord;
+        loop {
+            let n = *path.last().expect("path starts non-empty") as usize;
+            let out = ecube_route(here, dest);
+            if self.arena.owner(n, vnet, out) >= 0 {
+                return false;
+            }
+            if out == OUT_EJECT {
+                break;
+            }
+            if self.bisect_out[n] & (1 << out) != 0 {
+                bisect.push(outs.len() as u32);
+            }
+            outs.push(out as u8);
+            let next = self.neigh[n][out];
+            debug_assert!(
+                (next as usize) < self.routers.len(),
+                "bulk route left the shard"
+            );
+            path.push(next);
+            here = self.routers[next as usize].coord;
+        }
+        debug_assert_eq!(*path.last().expect("non-empty") as usize, dest_l);
+        let mut flits = Vec::with_capacity(2 * words.len());
+        for (i, &word) in words.iter().enumerate() {
+            flits.extend(Flit::pair_for_word(
+                dest,
+                word,
+                i == 0,
+                i == 0,
+                i + 1 == words.len(),
+                priority,
+                cycle,
+                cycle + self.config.inject_latency,
+                trace,
+            ));
+        }
+        self.in_flight += flits.len() as u64;
+        self.bulk = Some(BulkMsg {
+            flits,
+            path,
+            outs,
+            bisect,
+            q: cycle + self.config.inject_latency,
+            vnet,
+        });
+        true
+    }
+
+    /// Replays one cycle of the bulk message's closed-form schedule (the
+    /// timing law in [`BulkMsg`]), emitting exactly the statistics,
+    /// deliveries, and trace events the buffered path would this cycle.
+    fn step_bulk(&mut self, cycle: u64) {
+        let b = self.bulk.take().expect("step_bulk without a bulk message");
+        if cycle < b.q {
+            self.bulk = Some(b);
+            return;
+        }
+        let f_count = b.flits.len() as u64;
+        let hops = b.outs.len() as u64;
+        let rel = cycle - b.q;
+        if hops > 0 {
+            // Forward moves: flit `f` pops out of hop position `m < H` at
+            // cycle `q + f + m`, so this cycle moves every flit in
+            // `[rel - (H-1), rel]`, clamped to the message.
+            let lo = rel.saturating_sub(hops - 1);
+            let hi = rel.min(f_count - 1);
+            if lo <= hi {
+                self.stats.flit_hops += hi - lo + 1;
+            }
+            for &m in &b.bisect {
+                if u64::from(m) <= rel && rel - u64::from(m) < f_count {
+                    self.stats.bisection_flits += 1;
+                }
+            }
+            // The head acquires one output port per cycle along the route —
+            // that is the per-hop lifecycle event.
+            if rel < hops {
+                if let Some(tracer) = &mut self.tracer {
+                    let id = b.flits[0].trace;
+                    if id.is_some() {
+                        tracer.emit(
+                            cycle,
+                            EventKind::Hop {
+                                id,
+                                node: NodeId((self.base + b.path[rel as usize] as usize) as u32),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Ejection: flit `f = rel - H` leaves the mesh this cycle.
+        let mut done = false;
+        if rel >= hops && rel - hops < f_count {
+            let flit = b.flits[(rel - hops) as usize];
+            let dest = *b.path.last().expect("bulk path has a destination") as usize;
+            self.in_flight -= 1;
+            if let Some(word) = flit.payload {
+                self.routers[dest].ejected[b.vnet].push_back((word, flit.trace));
+                self.eject_pending.insert(dest);
+                self.stats.delivered_words += 1;
+                if let Some(tracer) = &mut self.tracer {
+                    if flit.trace.is_some() && self.routers[dest].eject_cur[b.vnet] != flit.trace {
+                        self.routers[dest].eject_cur[b.vnet] = flit.trace;
+                        tracer.emit(
+                            cycle,
+                            EventKind::Deliver {
+                                id: flit.trace,
+                                node: NodeId((self.base + dest) as u32),
+                            },
+                        );
+                    }
+                }
+            }
+            if flit.tail {
+                self.stats.delivered_msgs += 1;
+                let latency = cycle + 1 - flit.inject_cycle;
+                self.stats.latency_sum += latency;
+                self.stats.latency_max = self.stats.latency_max.max(latency);
+                done = true;
+            }
+        }
+        if !done {
+            self.bulk = Some(b);
+        }
+    }
+
+    /// Converts the in-flight bulk message back into ordinary buffered
+    /// flits, reconstructing exactly the state the flit-by-flit path would
+    /// hold at the start of the current cycle: every undelivered flit's
+    /// buffer position and ready cycle, plus wormhole port ownership along
+    /// the route. Called before any new injection, which could otherwise
+    /// contend with (or fail to see) the virtual flits.
+    fn materialize_bulk(&mut self) {
+        let b = self
+            .bulk
+            .take()
+            .expect("materialize without a bulk message");
+        let cycle = self.cycle;
+        let hops = b.outs.len() as u64;
+        let f_count = b.flits.len() as u64;
+        let src = b.path[0] as usize;
+        for (f, flit) in b.flits.iter().enumerate() {
+            // Moves completed so far: one per cycle in `[q + f, cycle)`.
+            let done = cycle.saturating_sub(b.q + f as u64).min(hops + 1);
+            if done > hops {
+                continue; // already ejected
+            }
+            if done == 0 {
+                // Still in the injection FIFO, at its original ready cycle;
+                // ascending `f` keeps FIFO order.
+                self.arena.push(src, b.vnet, IN_INJECT, *flit);
+                self.occ[src] += 1;
+            } else {
+                let at = b.path[done as usize] as usize;
+                let port = b.outs[done as usize - 1] as usize;
+                let mut flit = *flit;
+                flit.ready_cycle = b.q + f as u64 + done;
+                self.arena.push(at, b.vnet, port, flit);
+                self.occ[at] += 1;
+            }
+        }
+        // Wormhole ownership: router `m` on the path holds its output for
+        // this message from the head's pass (cycle `q + m`) until the
+        // tail's (cycle `q + F - 1 + m`).
+        for m in 0..=hops {
+            if b.q + m < cycle && cycle <= b.q + f_count - 1 + m {
+                let n = b.path[m as usize] as usize;
+                let out = if m == hops {
+                    OUT_EJECT
+                } else {
+                    b.outs[m as usize] as usize
+                };
+                let in_port = if m == 0 {
+                    IN_INJECT
+                } else {
+                    b.outs[m as usize - 1] as usize
+                };
+                self.arena.set_owner(n, b.vnet, out, in_port as i8);
+            }
+        }
+        for &n in &b.path {
+            if self.occ[n as usize] > 0 {
+                self.active.insert(n as usize);
+            }
+        }
+        // `in_flight` already counts the still-buffered flits.
     }
 
     /// Whether `node`'s interface is down this cycle; counts the refusal
@@ -465,40 +831,6 @@ impl NetShard {
         }
     }
 
-    fn neighbor_id(&self, here: Coord, out: usize) -> NodeId {
-        let mut c = here;
-        match out {
-            0 => c.x += 1,
-            1 => c.x -= 1,
-            2 => c.y += 1,
-            3 => c.y -= 1,
-            4 => c.z += 1,
-            5 => c.z -= 1,
-            _ => unreachable!("eject has no neighbor"),
-        }
-        self.config.dims.id(c)
-    }
-
-    fn crosses_bisection(&self, here: Coord, out: usize) -> bool {
-        if self.bisect_mid == 0 {
-            return false;
-        }
-        let (dim, positive) = match out {
-            0 => (0, true),
-            1 => (0, false),
-            2 => (1, true),
-            3 => (1, false),
-            4 => (2, true),
-            5 => (2, false),
-            _ => return false,
-        };
-        if dim != self.bisect_dim {
-            return false;
-        }
-        let coord = [here.x, here.y, here.z][dim];
-        (positive && coord == self.bisect_mid - 1) || (!positive && coord == self.bisect_mid)
-    }
-
     /// Nodes per z-plane (boundary buffers are indexed by plane offset).
     #[inline]
     fn plane(&self) -> usize {
@@ -512,224 +844,272 @@ impl NetShard {
     /// shard). Flits leaving the slab are posted to the edge mailboxes and
     /// picked up by [`NetShard::exchange`] on the receiving side.
     ///
-    /// Only routers in the active set (buffered flits) are visited; an empty
-    /// shard steps in O(1). This is cycle-exact with a full ascending scan:
-    /// inactive routers have nothing to move, and a router activated
-    /// mid-step only holds flits with `ready_cycle == cycle + 1`, which the
-    /// scan would skip anyway.
+    /// Only routers holding buffered flits do any work; an empty shard steps
+    /// in O(1). Two scan strategies find them (see [`ScanPolicy`]): the
+    /// sparse path iterates the active bitset, the dense path walks the flat
+    /// occupancy array directly — cheaper when most routers are active,
+    /// because it trades bitset bookkeeping for one predictable linear scan.
+    /// Both visit routers in ascending index order and both are cycle-exact
+    /// with a naive full scan: inactive routers have nothing to move, and a
+    /// router activated mid-step only holds flits with
+    /// `ready_cycle == cycle + 1`, which the scan would skip anyway.
     pub fn step_cycle(&mut self, below: Option<&Edge>, above: Option<&Edge>) {
         if self.in_flight == 0 {
             self.cycle += 1;
             return;
         }
         let cycle = self.cycle;
-        let flit_buffer = self.config.flit_buffer;
+        if self.bulk.is_some() {
+            // A bulk message in flight is the only traffic (any other
+            // injection would have materialized it), so the router scan
+            // below would find nothing buffered to move.
+            debug_assert!(
+                self.active.is_empty(),
+                "buffered flits during a bulk flight"
+            );
+            self.step_bulk(cycle);
+            self.cycle += 1;
+            return;
+        }
+        if self.scan_dense {
+            // Dense scan: every router, ascending; the occupancy word is the
+            // activity test. The active bitset stays exact (removal below)
+            // so the retune measurement and a later sparse switch are sound.
+            for n in 0..self.routers.len() {
+                if self.occ[n] == 0 {
+                    self.active.remove(n);
+                    continue;
+                }
+                self.step_router(n, cycle, below, above);
+                if self.occ[n] == 0 {
+                    self.active.remove(n);
+                }
+            }
+        } else {
+            // Sparse scan: snapshot the active set — flit hand-offs during
+            // the loop may activate routers (harmless to visit or not, see
+            // above), and a drained router leaves the set for future cycles.
+            let mut snapshot = std::mem::take(&mut self.scratch);
+            snapshot.clear();
+            snapshot.extend(self.active.iter().map(|i| i as u32));
+            for &n in &snapshot {
+                let n = n as usize;
+                if self.occ[n] == 0 {
+                    self.active.remove(n);
+                    continue;
+                }
+                self.step_router(n, cycle, below, above);
+                if self.occ[n] == 0 {
+                    self.active.remove(n);
+                }
+            }
+            self.scratch = snapshot;
+        }
+        self.retune();
+        self.cycle += 1;
+    }
+
+    /// Congestion-aware scan-mode switch, applied between cycles: go dense
+    /// when ≥ 5/8 of the shard's routers hold flits, back to sparse when
+    /// ≤ 1/4 do. The hysteresis gap keeps occupancy hovering near one
+    /// threshold from thrashing the mode; tiny shards stay sparse (the
+    /// dense scan's win is cache-linearity, which needs routers to scan).
+    #[inline]
+    fn retune(&mut self) {
+        if self.config.scan != ScanPolicy::Auto {
+            return;
+        }
+        let n = self.routers.len();
+        let active = self.active.count();
+        if !self.scan_dense {
+            if n >= DENSE_MIN_ROUTERS && active * 8 >= n * 5 {
+                self.scan_dense = true;
+            }
+        } else if active * 4 <= n {
+            self.scan_dense = false;
+        }
+    }
+
+    /// Advances one router one cycle: moves at most one flit per physical
+    /// channel, priority-1 traffic first, input ports arbitrated in fixed
+    /// ascending order with injection last.
+    fn step_router(&mut self, n: usize, cycle: u64, below: Option<&Edge>, above: Option<&Edge>) {
         let eject_fifo = self.config.eject_fifo;
         let plane = self.plane();
         let count = self.routers.len();
-        // Snapshot the active set: flit hand-offs during the loop may
-        // activate routers (harmless to visit or not, see above), and a
-        // drained router leaves the set for future cycles.
-        let mut snapshot = std::mem::take(&mut self.scratch);
-        snapshot.clear();
-        snapshot.extend(self.active.iter().map(|i| i as u32));
-        for &n in &snapshot {
-            let n = n as usize;
-            if self.routers[n].is_idle() {
-                self.active.remove(n);
-                continue;
-            }
-            let here = self.routers[n].coord;
-            let mut in_used = [false; 7];
-            let mut out_used = [false; 7];
-            for &priority in [MsgPriority::P1, MsgPriority::P0].iter() {
-                let vnet = priority.index();
-                #[allow(clippy::needless_range_loop)]
-                for in_port in 0..7 {
-                    if in_used[in_port] {
+        let here = self.routers[n].coord;
+        let mut in_used: u8 = 0;
+        let mut out_used: u8 = 0;
+        for &priority in [MsgPriority::P1, MsgPriority::P0].iter() {
+            let vnet = priority.index();
+            // Non-empty input ports in ascending (arbitration) order, minus
+            // physical channels a higher-priority flit already used.
+            let mut avail = self.arena.port_mask(n, vnet) & !in_used;
+            while avail != 0 {
+                let in_port = avail.trailing_zeros() as usize;
+                avail &= avail - 1;
+                let flit = self.arena.front(n, vnet, in_port);
+                if flit.ready_cycle > cycle {
+                    continue;
+                }
+                let out = ecube_route(here, flit.dest);
+                if out_used & (1 << out) != 0 {
+                    continue;
+                }
+                let owner = self.arena.owner(n, vnet, out);
+                if owner != in_port as i8 {
+                    if owner >= 0 {
                         continue;
                     }
-                    let Some(&flit) = self.routers[n].inputs[vnet][in_port].front() else {
-                        continue;
-                    };
-                    if flit.ready_cycle > cycle {
-                        continue;
-                    }
-                    let out = ecube_route(here, flit.dest);
-                    if out_used[out] {
+                    if !flit.head {
+                        // A body flit whose path was already torn down
+                        // cannot occur under wormhole FIFO discipline.
+                        debug_assert!(flit.head, "orphan body flit");
                         continue;
                     }
-                    match self.routers[n].owners[vnet][out] {
-                        Some(owner) if owner == in_port => {}
-                        Some(_) => continue,
-                        None => {
-                            if !flit.head {
-                                // A body flit whose path was already torn
-                                // down cannot occur under wormhole FIFO
-                                // discipline.
-                                debug_assert!(flit.head, "orphan body flit");
-                                continue;
-                            }
-                        }
+                }
+                // Delay faults come first and act exactly like a full
+                // downstream buffer: the flit stays queued and wormhole
+                // backpressure holds the path, so nothing is ever lost.
+                // The decision is a pure function of (global node, out
+                // port, cycle) — identical for every engine and shard
+                // layout.
+                if let Some(f) = &self.fault {
+                    if f.blocked((self.base + n) as u32, out, cycle) {
+                        self.stats.faults.blocked_moves += 1;
+                        continue;
                     }
-                    // Delay faults come first and act exactly like a full
-                    // downstream buffer: the flit stays queued and wormhole
-                    // backpressure holds the path, so nothing is ever lost.
-                    // The decision is a pure function of (global node, out
-                    // port, cycle) — identical for every engine and shard
-                    // layout.
-                    if let Some(f) = &self.fault {
-                        if f.blocked((self.base + n) as u32, out, cycle) {
-                            self.stats.faults.blocked_moves += 1;
+                }
+                // Space check downstream. Local targets report
+                // start-of-cycle occupancy; boundary targets were
+                // published by the owning shard at the last exchange —
+                // both are scan-order-independent (module docs).
+                let mut local_m = usize::MAX;
+                if out == OUT_EJECT {
+                    if flit.payload.is_some() && self.routers[n].ejected[vnet].len() >= eject_fifo {
+                        continue;
+                    }
+                } else {
+                    let code = self.neigh[n][out];
+                    if (code as usize) < count {
+                        if self.arena.space(code as usize, vnet, out, cycle) == 0 {
                             continue;
                         }
-                    }
-                    // Space check downstream. Local targets report
-                    // start-of-cycle occupancy; boundary targets were
-                    // published by the owning shard at the last exchange —
-                    // both are scan-order-independent (module docs).
-                    let mut local_m = usize::MAX;
-                    if out == OUT_EJECT {
-                        if flit.payload.is_some()
-                            && self.routers[n].ejected[vnet].len() >= eject_fifo
-                        {
+                        local_m = code as usize;
+                    } else {
+                        debug_assert_ne!(code, u32::MAX, "routed off-mesh");
+                        let m = (code & NEIGH_ID) as usize;
+                        let space = if code & NEIGH_DOWN == 0 {
+                            let edge = above.expect("+z exit without an upper edge");
+                            edge.up_space[m % plane][vnet].load(Ordering::Acquire)
+                        } else {
+                            let edge = below.expect("-z exit without a lower edge");
+                            edge.down_space[m % plane][vnet].load(Ordering::Acquire)
+                        };
+                        if space == 0 {
                             continue;
-                        }
-                    } else {
-                        let m = self.neighbor_id(here, out).index();
-                        let l = m.wrapping_sub(self.base);
-                        if l < count {
-                            if self.routers[l].space(priority, out, flit_buffer, cycle) == 0 {
-                                continue;
-                            }
-                            local_m = l;
-                        } else {
-                            let space = match out {
-                                OUT_ZPOS => {
-                                    let edge = above.expect("+z exit without an upper edge");
-                                    edge.up_space[m % plane][vnet].load(Ordering::Acquire)
-                                }
-                                OUT_ZNEG => {
-                                    let edge = below.expect("-z exit without a lower edge");
-                                    edge.down_space[m % plane][vnet].load(Ordering::Acquire)
-                                }
-                                _ => unreachable!("only z channels cross slab boundaries"),
-                            };
-                            if space == 0 {
-                                continue;
-                            }
-                        }
-                    }
-                    // Commit the move.
-                    let flit = self.routers[n].inputs[vnet][in_port]
-                        .pop_front()
-                        .expect("front checked");
-                    self.routers[n].popped_at[vnet][in_port] = cycle;
-                    self.routers[n].occupancy -= 1;
-                    in_used[in_port] = true;
-                    out_used[out] = true;
-                    self.routers[n].owners[vnet][out] =
-                        if flit.tail { None } else { Some(in_port) };
-                    if out == OUT_EJECT {
-                        self.in_flight -= 1;
-                        if let Some(word) = flit.payload {
-                            let mut word = word;
-                            if self.fault.is_some() {
-                                word = self.eject_faulted(word, n, vnet, flit.trace);
-                            }
-                            self.routers[n].ejected[vnet].push_back((word, flit.trace));
-                            self.eject_pending.insert(n);
-                            self.stats.delivered_words += 1;
-                            // The message's first payload word (its header)
-                            // reaching the ejection FIFO is the deliver
-                            // event: the MDP dispatches on header arrival
-                            // while the tail may still be streaming in, so
-                            // keying on the tail would let dispatch precede
-                            // delivery.
-                            if let Some(tracer) = &mut self.tracer {
-                                if flit.trace.is_some()
-                                    && self.routers[n].eject_cur[vnet] != flit.trace
-                                {
-                                    self.routers[n].eject_cur[vnet] = flit.trace;
-                                    tracer.emit(
-                                        cycle,
-                                        EventKind::Deliver {
-                                            id: flit.trace,
-                                            node: NodeId((self.base + n) as u32),
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                        if flit.tail {
-                            if self.fault.is_some() {
-                                self.routers[n].eject_hdr_seen[vnet] = false;
-                            }
-                            self.stats.delivered_msgs += 1;
-                            // Ejection completes at the end of this cycle;
-                            // injection can never postdate it.
-                            debug_assert!(
-                                cycle + 1 >= flit.inject_cycle,
-                                "delivery precedes injection (cycle {cycle}, injected {})",
-                                flit.inject_cycle
-                            );
-                            let latency = cycle + 1 - flit.inject_cycle;
-                            self.stats.latency_sum += latency;
-                            self.stats.latency_max = self.stats.latency_max.max(latency);
-                        }
-                    } else {
-                        if flit.head {
-                            if let Some(tracer) = &mut self.tracer {
-                                if flit.trace.is_some() {
-                                    tracer.emit(
-                                        cycle,
-                                        EventKind::Hop {
-                                            id: flit.trace,
-                                            node: NodeId((self.base + n) as u32),
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                        self.stats.flit_hops += 1;
-                        if self.crosses_bisection(here, out) {
-                            self.stats.bisection_flits += 1;
-                        }
-                        let m = self.neighbor_id(here, out).index();
-                        let mut moved = flit;
-                        moved.ready_cycle = cycle + 1;
-                        if local_m != usize::MAX {
-                            let l = local_m;
-                            debug_assert_eq!(l, m.wrapping_sub(self.base));
-                            self.routers[l].inputs[vnet][out].push_back(moved);
-                            self.routers[l].occupancy += 1;
-                            self.active.insert(l);
-                        } else {
-                            // Crossing a slab boundary: the flit leaves this
-                            // shard's books and reaches the neighbor's input
-                            // buffer at exchange time. Deferral is invisible
-                            // (ready_cycle = cycle + 1 already bars every
-                            // same-cycle consumer).
-                            self.in_flight -= 1;
-                            let mailbox = match out {
-                                OUT_ZPOS => &above.expect("checked above").up,
-                                OUT_ZNEG => &below.expect("checked above").down,
-                                _ => unreachable!("only z channels cross slab boundaries"),
-                            };
-                            mailbox
-                                .lock()
-                                .expect("mailbox poisoned")
-                                .push((m as u32, vnet, moved));
                         }
                     }
                 }
-            }
-            if self.routers[n].is_idle() {
-                self.active.remove(n);
+                // Commit the move.
+                let flit = self.arena.pop(n, vnet, in_port, cycle);
+                self.occ[n] -= 1;
+                in_used |= 1 << in_port;
+                out_used |= 1 << out;
+                self.arena
+                    .set_owner(n, vnet, out, if flit.tail { -1 } else { in_port as i8 });
+                if out == OUT_EJECT {
+                    self.in_flight -= 1;
+                    if let Some(word) = flit.payload {
+                        let mut word = word;
+                        if self.fault.is_some() {
+                            word = self.eject_faulted(word, n, vnet, flit.trace);
+                        }
+                        self.routers[n].ejected[vnet].push_back((word, flit.trace));
+                        self.eject_pending.insert(n);
+                        self.stats.delivered_words += 1;
+                        // The message's first payload word (its header)
+                        // reaching the ejection FIFO is the deliver
+                        // event: the MDP dispatches on header arrival
+                        // while the tail may still be streaming in, so
+                        // keying on the tail would let dispatch precede
+                        // delivery.
+                        if let Some(tracer) = &mut self.tracer {
+                            if flit.trace.is_some() && self.routers[n].eject_cur[vnet] != flit.trace
+                            {
+                                self.routers[n].eject_cur[vnet] = flit.trace;
+                                tracer.emit(
+                                    cycle,
+                                    EventKind::Deliver {
+                                        id: flit.trace,
+                                        node: NodeId((self.base + n) as u32),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    if flit.tail {
+                        if self.fault.is_some() {
+                            self.routers[n].eject_hdr_seen[vnet] = false;
+                        }
+                        self.stats.delivered_msgs += 1;
+                        // Ejection completes at the end of this cycle;
+                        // injection can never postdate it.
+                        debug_assert!(
+                            cycle + 1 >= flit.inject_cycle,
+                            "delivery precedes injection (cycle {cycle}, injected {})",
+                            flit.inject_cycle
+                        );
+                        let latency = cycle + 1 - flit.inject_cycle;
+                        self.stats.latency_sum += latency;
+                        self.stats.latency_max = self.stats.latency_max.max(latency);
+                    }
+                } else {
+                    if flit.head {
+                        if let Some(tracer) = &mut self.tracer {
+                            if flit.trace.is_some() {
+                                tracer.emit(
+                                    cycle,
+                                    EventKind::Hop {
+                                        id: flit.trace,
+                                        node: NodeId((self.base + n) as u32),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    self.stats.flit_hops += 1;
+                    if self.bisect_out[n] & (1 << out) != 0 {
+                        self.stats.bisection_flits += 1;
+                    }
+                    let mut moved = flit;
+                    moved.ready_cycle = cycle + 1;
+                    if local_m != usize::MAX {
+                        self.arena.push(local_m, vnet, out, moved);
+                        self.occ[local_m] += 1;
+                        self.active.insert(local_m);
+                    } else {
+                        // Crossing a slab boundary: the flit leaves this
+                        // shard's books and reaches the neighbor's input
+                        // buffer at exchange time. Deferral is invisible
+                        // (ready_cycle = cycle + 1 already bars every
+                        // same-cycle consumer).
+                        self.in_flight -= 1;
+                        let code = self.neigh[n][out];
+                        let mailbox = if code & NEIGH_DOWN == 0 {
+                            &above.expect("checked above").up
+                        } else {
+                            &below.expect("checked above").down
+                        };
+                        mailbox.lock().expect("mailbox poisoned").push((
+                            code & NEIGH_ID,
+                            vnet,
+                            moved,
+                        ));
+                    }
+                }
             }
         }
-        self.scratch = snapshot;
-        self.cycle += 1;
     }
 
     /// Phase 2 of a cycle: drains the edge mailboxes addressed to this shard
@@ -746,15 +1126,15 @@ impl NetShard {
             for (dest, vnet, flit) in inbox.drain(..) {
                 let l = self.local(NodeId(dest));
                 debug_assert!(l < plane, "up-crossing flit beyond the bottom plane");
-                self.routers[l].inputs[vnet][OUT_ZPOS].push_back(flit);
-                self.routers[l].occupancy += 1;
+                self.arena.push(l, vnet, OUT_ZPOS, flit);
+                self.occ[l] += 1;
                 self.in_flight += 1;
                 self.active.insert(l);
             }
             drop(inbox);
             for p in 0..plane {
                 for vnet in 0..2 {
-                    let len = self.routers[p].inputs[vnet][OUT_ZPOS].len();
+                    let len = self.arena.len(p, vnet, OUT_ZPOS);
                     debug_assert!(len <= flit_buffer, "boundary buffer over capacity");
                     edge.up_space[p][vnet].store((flit_buffer - len) as u8, Ordering::Release);
                 }
@@ -766,15 +1146,15 @@ impl NetShard {
             for (dest, vnet, flit) in inbox.drain(..) {
                 let l = self.local(NodeId(dest));
                 debug_assert!(l >= top, "down-crossing flit above the top plane");
-                self.routers[l].inputs[vnet][OUT_ZNEG].push_back(flit);
-                self.routers[l].occupancy += 1;
+                self.arena.push(l, vnet, OUT_ZNEG, flit);
+                self.occ[l] += 1;
                 self.in_flight += 1;
                 self.active.insert(l);
             }
             drop(inbox);
             for p in 0..plane {
                 for vnet in 0..2 {
-                    let len = self.routers[top + p].inputs[vnet][OUT_ZNEG].len();
+                    let len = self.arena.len(top + p, vnet, OUT_ZNEG);
                     debug_assert!(len <= flit_buffer, "boundary buffer over capacity");
                     edge.down_space[p][vnet].store((flit_buffer - len) as u8, Ordering::Release);
                 }
