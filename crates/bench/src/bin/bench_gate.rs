@@ -82,6 +82,58 @@ fn parse(doc: &str) -> Vec<Workload> {
     out
 }
 
+/// One thread-sweep run pulled from a document's `"threads"` section.
+#[derive(Debug, Clone, PartialEq)]
+struct ThreadRow {
+    label: String,
+    vs_event: f64,
+    oversubscribed: bool,
+}
+
+/// Extracts the boolean value following `"key":` at/after `from`, returning
+/// the key's position so callers can bound it to the current record.
+fn bool_field(doc: &str, key: &str, from: usize) -> Option<(bool, usize)> {
+    let pat = format!("\"{key}\"");
+    let k = doc[from..].find(&pat)? + from;
+    let colon = doc[k + pat.len()..].find(':')? + k + pat.len() + 1;
+    let rest = doc[colon..].trim_start();
+    if rest.starts_with("true") {
+        Some((true, k))
+    } else if rest.starts_with("false") {
+        Some((false, k))
+    } else {
+        None
+    }
+}
+
+/// Parses the thread-sweep rows (`"label"`-keyed, so the workload parser
+/// above never sees them). Rows predating the `oversubscribed` stamp are
+/// treated as oversubscribed — unratchetable — rather than guessed at:
+/// exactly the bug this stamp exists to fix was unmarked rows from a
+/// 1-CPU host reading as real scaling data.
+fn parse_threads(doc: &str) -> Vec<ThreadRow> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some((label, next)) = string_field(doc, "label", at) {
+        at = next;
+        let Some((vs_event, next)) = number_field(doc, "vs_event", at) else {
+            break;
+        };
+        at = next;
+        let next_label = doc[at..].find("\"label\"").map_or(doc.len(), |p| p + at);
+        let oversubscribed = match bool_field(doc, "oversubscribed", at) {
+            Some((v, pos)) if pos < next_label => v,
+            _ => true,
+        };
+        out.push(ThreadRow {
+            label,
+            vs_event,
+            oversubscribed,
+        });
+    }
+    out
+}
+
 fn arg(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -116,8 +168,10 @@ fn main() -> ExitCode {
         .map(|v| v.parse().expect("--floor-margin takes a fraction"))
         .unwrap_or(0.10);
 
-    let baseline = parse(&std::fs::read_to_string(&baseline_path).expect("read baseline"));
-    let current = parse(&std::fs::read_to_string(&current_path).expect("read current"));
+    let baseline_doc = std::fs::read_to_string(&baseline_path).expect("read baseline");
+    let current_doc = std::fs::read_to_string(&current_path).expect("read current");
+    let baseline = parse(&baseline_doc);
+    let current = parse(&current_doc);
     assert!(!baseline.is_empty(), "no workloads in {baseline_path}");
 
     let mut failed = false;
@@ -139,6 +193,43 @@ fn main() -> ExitCode {
             floor,
             cur.naive_cps,
             cur.event_cps,
+        );
+        failed |= !ok;
+    }
+    // Thread-scaling ratchet: compare `vs_event` per engine label, but only
+    // between runs where the thread count fit the host — an oversubscribed
+    // row (stamped, or predating the stamp) measures scheduler pressure,
+    // not scaling, on either side of the comparison.
+    for base in &parse_threads(&baseline_doc) {
+        if base.oversubscribed {
+            println!(
+                "[skip] threads/{:<20} baseline row is oversubscribed (not scaling data)",
+                base.label
+            );
+            continue;
+        }
+        let cur_rows = parse_threads(&current_doc);
+        let Some(cur) = cur_rows.iter().find(|r| r.label == base.label) else {
+            eprintln!("[FAIL] threads/{}: missing from {current_path}", base.label);
+            failed = true;
+            continue;
+        };
+        if cur.oversubscribed {
+            println!(
+                "[skip] threads/{:<20} current row is oversubscribed (host too small to compare)",
+                cur.label
+            );
+            continue;
+        }
+        let floor = base.vs_event * (1.0 - tolerance);
+        let ok = cur.vs_event >= floor;
+        println!(
+            "[{}] threads/{:<20} vs_event {:.2}x (baseline {:.2}x, floor {:.2}x)",
+            if ok { "ok" } else { "FAIL" },
+            cur.label,
+            cur.vs_event,
+            base.vs_event,
+            floor,
         );
         failed |= !ok;
     }
@@ -206,6 +297,44 @@ mod tests {
         assert_eq!(ws[0].speedup, 10.0);
         assert_eq!(ws[1].name, "exchange64_load_dominated");
         assert_eq!(ws[1].speedup, 0.90);
+    }
+
+    const THREADS_DOC: &str = r#"{
+  "threads": {
+    "workload": "exchange64_load_dominated",
+    "host_cpus": 4,
+    "runs": [
+      { "label": "event", "threads": 0, "wall_secs": 1.0, "cyc_per_sec": 1000, "vs_event": 1.00, "oversubscribed": false },
+      { "label": "parallel-4", "threads": 4, "wall_secs": 0.4, "cyc_per_sec": 2500, "vs_event": 2.50, "oversubscribed": false },
+      { "label": "parallel-8", "threads": 8, "wall_secs": 0.5, "cyc_per_sec": 2000, "vs_event": 2.00, "oversubscribed": true }
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn parses_thread_rows_with_oversubscription_stamp() {
+        let rows = parse_threads(THREADS_DOC);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "event");
+        assert!(!rows[0].oversubscribed);
+        assert_eq!(rows[1].vs_event, 2.50);
+        assert!(!rows[1].oversubscribed);
+        assert!(rows[2].oversubscribed);
+        // Workload parser must not trip over the threads section.
+        assert!(parse(THREADS_DOC).is_empty());
+    }
+
+    #[test]
+    fn unstamped_thread_rows_are_treated_as_oversubscribed() {
+        // A pre-stamp document (like the committed 1-CPU baseline rows the
+        // issue calls out) must not ratchet as if it were scaling data.
+        let doc = r#"{ "runs": [
+          { "label": "parallel-4", "wall_secs": 1.0, "cyc_per_sec": 270, "vs_event": 0.27 }
+        ] }"#;
+        let rows = parse_threads(doc);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].oversubscribed);
     }
 
     #[test]

@@ -2,7 +2,15 @@
 //! wall clock) of the two machine engines on contrasting workloads, and
 //! writes `BENCH_engine.json`.
 //!
-//! Usage: `engine_perf [--out PATH] [--quick] [--trace] [--threads]`
+//! Usage: `engine_perf [--out PATH] [--quick] [--trace] [--threads]
+//! [--require-cpus N]`
+//!
+//! `--require-cpus N` turns an undersized host into a hard failure: when
+//! the host has fewer than `N` CPUs the binary emits a `::error::`
+//! annotation and exits nonzero instead of quietly skipping the
+//! thread-scaling floor. CI jobs that exist to enforce that floor pass
+//! this flag so a mis-provisioned runner fails loudly rather than
+//! green-washing the check.
 //!
 //! `--trace` additionally runs the ring workload on the event engine with
 //! lifecycle tracing enabled and reports the tracing overhead (the
@@ -169,6 +177,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let trace = args.iter().any(|a| a == "--trace");
     let threads = args.iter().any(|a| a == "--threads");
+    let require_cpus: Option<usize> = args
+        .iter()
+        .position(|a| a == "--require-cpus")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--require-cpus takes a number"));
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -208,6 +221,17 @@ fn main() {
     // runner's numbers from a real multi-core host without digging into
     // the threads section (which only exists under --threads).
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some(need) = require_cpus {
+        if host_cpus < need {
+            // Printed on its own line so GitHub Actions renders it as an
+            // error annotation; the nonzero exit fails the job either way.
+            println!(
+                "::error title=undersized bench runner::host has {host_cpus} CPU(s) but \
+                 --require-cpus {need} was passed; the thread-scaling floor cannot be enforced here"
+            );
+            std::process::exit(1);
+        }
+    }
     let mut out = format!(
         "{{\n  \"bench\": \"engine\",\n  \"host_cpus\": {host_cpus},\n  \"workloads\": [\n"
     );

@@ -1,6 +1,6 @@
-//! Large-mesh scaling canary: a bounded load-dominated run on a big cube,
-//! executed under the event engine and the parallel engine, with a digest
-//! diff.
+//! Large-mesh scaling bench: a bounded load-dominated run on a big cube,
+//! executed under the event engine and the parallel engine at several
+//! quantum lengths, with a digest diff across every row.
 //!
 //! Usage: `mesh_smoke [--nodes N] [--cycles C] [--threads T] [--digest PATH]`
 //!
@@ -10,12 +10,17 @@
 //! bounded by cycle count, not quiescence, so its cost is predictable on a
 //! scheduled CI job.
 //!
-//! The binary is its own gate: the two engines' full machine statistics
-//! are hashed (FNV-1a over the debug rendering, the same fingerprint
-//! style as the determinism digests) and compared; any divergence — a
-//! non-deterministic parallel tick, a sharding-dependent network path —
-//! exits nonzero. `--digest` writes the digest line to a file so a
-//! workflow can additionally diff across runs or days.
+//! Three rows run: `event`, `parallel-T` at quantum 1 (a decide every
+//! cycle — the old barrier engine's cadence, and the worst case for the
+//! crew scheduler), and `parallel-T` at the auto quantum (the shipped
+//! default). The binary is its own gate: every row's full machine
+//! statistics are hashed (FNV-1a over the debug rendering, the same
+//! fingerprint style as the determinism digests) and compared; any
+//! divergence — a non-deterministic parallel tick, a sharding-dependent
+//! network path, a quantum-boundary bug — exits nonzero. `--digest`
+//! writes the digest line to a file so a workflow can additionally diff
+//! across runs or days. Peak RSS is reported per process so the 16³
+//! footprint stays visible run over run.
 
 use jm_machine::{Engine, JMachine, MachineConfig, StartPolicy};
 use std::process::ExitCode;
@@ -28,6 +33,26 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Peak resident set size of this process in MiB (0 when unavailable —
+/// `/proc` is Linux-only).
+fn peak_rss_mib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib / 1024;
+        }
+    }
+    0
 }
 
 fn arg(args: &[String], name: &str) -> Option<String> {
@@ -44,16 +69,28 @@ fn main() -> ExitCode {
     let threads: u32 = arg(&args, "--threads").map_or(4, |v| v.parse().expect("--threads"));
     let digest_path = arg(&args, "--digest");
 
+    // (label, engine, quantum): quantum 0 is the auto default.
+    let rows = [
+        ("event".to_string(), Engine::Event, 0u32),
+        (
+            format!("parallel-{threads}-q1"),
+            Engine::Parallel(threads),
+            1,
+        ),
+        (
+            format!("parallel-{threads}-qauto"),
+            Engine::Parallel(threads),
+            0,
+        ),
+    ];
     let mut lines = Vec::new();
-    for (label, engine) in [
-        ("event".to_string(), Engine::Event),
-        (format!("parallel-{threads}"), Engine::Parallel(threads)),
-    ] {
+    for (label, engine, quantum) in rows {
         let mut m = JMachine::new(
             jm_bench::micro::load::debug_program(4, 20),
             MachineConfig::new(nodes)
                 .start(StartPolicy::AllNodes)
-                .engine(engine),
+                .engine(engine)
+                .quantum(quantum),
         );
         let start = std::time::Instant::now();
         m.run(cycles);
@@ -61,12 +98,13 @@ fn main() -> ExitCode {
         let stats = m.stats();
         let digest = fnv1a(format!("{stats:?}").as_bytes());
         println!(
-            "{label:<12} {nodes} nodes  {cycles} cycles  {:.2}s wall  {:.0} cyc/s  stats digest {digest:016x}",
+            "{label:<18} {nodes} nodes  {cycles} cycles  {:.2}s wall  {:.0} cyc/s  stats digest {digest:016x}",
             wall,
             cycles as f64 / wall.max(1e-9),
         );
         lines.push((label, digest));
     }
+    println!("peak rss: {} MiB", peak_rss_mib());
 
     // The cross-engine digest diff is the gate.
     let (ref base_label, base) = lines[0];
@@ -81,7 +119,10 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = digest_path {
-        let body = format!("mesh_smoke nodes={nodes} cycles={cycles} digest={base:016x}\n");
+        let body = format!(
+            "mesh_smoke nodes={nodes} cycles={cycles} digest={base:016x} peak_rss_mib={}\n",
+            peak_rss_mib()
+        );
         std::fs::write(&path, body).expect("write digest file");
     }
     if !ok {

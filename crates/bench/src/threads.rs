@@ -31,6 +31,11 @@ pub struct ThreadPoint {
     pub wall_secs: f64,
     /// Simulated cycles per second of wall clock.
     pub cycles_per_sec: f64,
+    /// Whether the run asked for more worker threads than the host has
+    /// logical CPUs. An oversubscribed number measures scheduler pressure,
+    /// not scaling — it is stamped so readers (and `bench_gate`'s ratchet)
+    /// never mistake it for real thread-scaling data.
+    pub oversubscribed: bool,
 }
 
 /// A completed thread-scaling sweep.
@@ -70,28 +75,44 @@ pub fn sweep(nodes: u32, cycles: u64, threads: &[u32]) -> ThreadSweep {
             .iter()
             .map(|&t| (format!("parallel-{t}"), t, Engine::Parallel(t))),
     );
-    for (label, t, engine) in engines {
-        let mut m = JMachine::new(
-            load::debug_program(4, 20),
-            MachineConfig::new(nodes)
-                .start(StartPolicy::AllNodes)
-                .engine(engine),
-        );
-        let (wall, ()) = time_once(|| m.run(cycles));
-        let stats = m.stats();
-        match &baseline_stats {
-            None => baseline_stats = Some(stats),
-            Some(base) => assert_eq!(
-                base, &stats,
-                "{label}: parallel engine diverged from the event engine"
-            ),
+    // Best-of-N wall time per point: a single timing on a busy host mixes
+    // scheduler noise into the ratio; the minimum of a few repetitions is
+    // the run least disturbed by the host. Repetitions are *interleaved*
+    // (round-robin over engines) rather than run back-to-back per engine,
+    // so a burst of host load lands on all engines roughly equally instead
+    // of skewing whichever engine owned that time window. Every
+    // repetition's stats are still asserted identical, so the differential
+    // check gets N× deeper.
+    const REPS: u32 = 5;
+    let mut best_walls = vec![None::<std::time::Duration>; engines.len()];
+    for _ in 0..REPS {
+        for ((label, _, engine), best_wall) in engines.iter().zip(best_walls.iter_mut()) {
+            let mut m = JMachine::new(
+                load::debug_program(4, 20),
+                MachineConfig::new(nodes)
+                    .start(StartPolicy::AllNodes)
+                    .engine(*engine),
+            );
+            let (wall, ()) = time_once(|| m.run(cycles));
+            let stats = m.stats();
+            match &baseline_stats {
+                None => baseline_stats = Some(stats),
+                Some(base) => assert_eq!(
+                    base, &stats,
+                    "{label}: parallel engine diverged from the event engine"
+                ),
+            }
+            *best_wall = Some(best_wall.map_or(wall, |b| b.min(wall)));
         }
-        let wall_secs = wall.as_secs_f64();
+    }
+    for ((label, t, _), best_wall) in engines.into_iter().zip(best_walls) {
+        let wall_secs = best_wall.expect("at least one repetition").as_secs_f64();
         points.push(ThreadPoint {
             label,
             threads: t,
             wall_secs,
             cycles_per_sec: cycles as f64 / wall_secs.max(1e-9),
+            oversubscribed: t as usize > host_cpus,
         });
     }
     ThreadSweep {
@@ -115,10 +136,15 @@ pub fn render(sweep: &ThreadSweep) -> String {
     for p in &sweep.points {
         let _ = writeln!(
             out,
-            "{:<12} {:>14.0} {:>9.2}x",
+            "{:<12} {:>14.0} {:>9.2}x{}",
             p.label,
             p.cycles_per_sec,
-            p.cycles_per_sec / base
+            p.cycles_per_sec / base,
+            if p.oversubscribed {
+                "  (oversubscribed)"
+            } else {
+                ""
+            }
         );
     }
     out
@@ -137,12 +163,13 @@ pub fn render_json(sweep: &ThreadSweep) -> String {
     for (i, p) in sweep.points.iter().enumerate() {
         let _ = writeln!(
             out,
-            "      {{ \"label\": \"{}\", \"threads\": {}, \"wall_secs\": {:.6}, \"cyc_per_sec\": {:.0}, \"vs_event\": {:.2} }}{}",
+            "      {{ \"label\": \"{}\", \"threads\": {}, \"wall_secs\": {:.6}, \"cyc_per_sec\": {:.0}, \"vs_event\": {:.2}, \"oversubscribed\": {} }}{}",
             p.label,
             p.threads,
             p.wall_secs,
             p.cycles_per_sec,
             p.cycles_per_sec / base,
+            p.oversubscribed,
             if i + 1 < sweep.points.len() { "," } else { "" }
         );
     }

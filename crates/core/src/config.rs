@@ -35,14 +35,38 @@ pub enum Engine {
     /// Naive reference: every node ticks and every router is scanned every
     /// cycle. Kept as the semantic baseline for differential testing.
     Naive,
-    /// Deterministic multi-threaded: the mesh is cut into (up to) this many
-    /// contiguous z-slabs, one worker thread per slab, synchronized by a
-    /// two-phase barrier per cycle. Results are bit-identical to the other
-    /// engines for every thread count. The count is clamped to the z
-    /// extent; `Parallel(1)` runs the event engine's sequential path.
-    /// Machines built with lifecycle tracing enabled fall back to
-    /// [`Engine::Event`] (trace ids need a global injection counter).
+    /// Deterministic multi-threaded: the mesh is cut into contiguous
+    /// z-slabs (about two per worker, clamped to the z extent) and a crew
+    /// of this many worker threads advances them as a task graph with
+    /// neighbor-only synchronization; global coordination happens only at
+    /// multi-cycle quantum boundaries (see [`MachineConfig::quantum`] and
+    /// `DESIGN.md` §4.10). Results are bit-identical to the other engines
+    /// for every thread count and every quantum. `Parallel(1)` runs the
+    /// event engine's sequential path. Machines built with lifecycle
+    /// tracing enabled are an error unless the config opts into
+    /// [`TraceFallback::Allow`] (trace ids need a global injection
+    /// counter).
     Parallel(u32),
+}
+
+/// What to do when a machine requests [`Engine::Parallel`] with lifecycle
+/// tracing enabled. Trace ids are injection ordinals from one global
+/// counter, which sharded injection does not maintain, so the combination
+/// cannot run threaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFallback {
+    /// Refuse to build the machine
+    /// ([`MachineError::TraceUnsupportedUnderParallel`](crate::MachineError)).
+    /// The default: a benchmark that asks for the parallel engine must not
+    /// silently measure a different one.
+    #[default]
+    Error,
+    /// Fall back to [`Engine::Event`] — bit-identical by construction, so
+    /// the trace describes exactly what the parallel engine would have
+    /// simulated. The fallback is counted
+    /// ([`parallel_trace_fallbacks`](crate::parallel_trace_fallbacks)) and
+    /// logged so run metadata can name the engine that actually executed.
+    Allow,
 }
 
 /// How the event engine's per-shard scheduler advances due nodes.
@@ -150,6 +174,17 @@ pub struct MachineConfig {
     pub engine: Engine,
     /// Lifecycle tracing (off by default).
     pub trace: TraceConfig,
+    /// Policy for tracing + [`Engine::Parallel`] (an error by default).
+    pub trace_fallback: TraceFallback,
+    /// Parallel-engine quantum: simulated cycles between global
+    /// coordination points (quiescence/error/idle-skip checks). `0` (the
+    /// default) picks automatically. Purely a host-performance knob —
+    /// observable results are bit-identical for every quantum; the only
+    /// documented divergence is *when* a `run_until_quiescent` drive stops
+    /// after a node error (at the next quantum boundary rather than the
+    /// cycle after the error; see `DESIGN.md` §4.10). Ignored by the
+    /// sequential engines.
+    pub quantum: u32,
     /// Scheduler advance strategy (auto-switching by default).
     pub sched: SchedMode,
     /// Fault-injection plan (none by default). A vacuous spec — no windows,
@@ -174,6 +209,8 @@ impl MachineConfig {
             start: StartPolicy::default(),
             engine: Engine::default(),
             trace: TraceConfig::default(),
+            trace_fallback: TraceFallback::default(),
+            quantum: 0,
             sched: SchedMode::default(),
             fault: None,
         }
@@ -188,6 +225,8 @@ impl MachineConfig {
             start: StartPolicy::default(),
             engine: Engine::default(),
             trace: TraceConfig::default(),
+            trace_fallback: TraceFallback::default(),
+            quantum: 0,
             sched: SchedMode::default(),
             fault: None,
         }
@@ -225,6 +264,19 @@ impl MachineConfig {
     /// Enables tracing with default settings (builder style).
     pub fn traced(mut self) -> MachineConfig {
         self.trace = TraceConfig::on();
+        self
+    }
+
+    /// Sets the tracing + parallel-engine policy (builder style).
+    pub fn trace_fallback(mut self, policy: TraceFallback) -> MachineConfig {
+        self.trace_fallback = policy;
+        self
+    }
+
+    /// Sets the parallel-engine quantum in cycles, `0` = auto (builder
+    /// style).
+    pub fn quantum(mut self, quantum: u32) -> MachineConfig {
+        self.quantum = quantum;
         self
     }
 

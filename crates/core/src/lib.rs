@@ -43,7 +43,7 @@ mod machine;
 mod parallel;
 mod stats;
 
-pub use config::{Engine, MachineConfig, SchedMode, StartPolicy, TraceConfig};
+pub use config::{Engine, MachineConfig, SchedMode, StartPolicy, TraceConfig, TraceFallback};
 pub use jm_fault::{FaultSpec, FaultStats, FaultWindow, FaultWindowKind};
 pub use jm_trace::{MachineTrace, MsgTrace, SamplePoint};
 pub use machine::{parallel_trace_fallbacks, JMachine, MachineError};

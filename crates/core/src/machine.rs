@@ -8,7 +8,7 @@
 //! results; `DESIGN.md` ("Simulation engine scheduling") gives the
 //! invariants and the cycle-exactness argument.
 
-use crate::config::{Engine, MachineConfig, SchedMode, StartPolicy};
+use crate::config::{Engine, MachineConfig, SchedMode, StartPolicy, TraceFallback};
 use crate::stats::MachineStats;
 use jm_asm::Program;
 use jm_fault::{checksum_words, FaultPlan};
@@ -59,6 +59,15 @@ pub enum MachineError {
         /// Nodes with stranded words.
         nodes: Vec<NodeId>,
     },
+    /// The configuration asked for [`Engine::Parallel`] with lifecycle
+    /// tracing enabled, without opting into a fallback. Trace ids are
+    /// injection ordinals from one global counter, which sharded injection
+    /// does not maintain — run traced machines on [`Engine::Event`]
+    /// (bit-identical), or set
+    /// [`TraceFallback::Allow`](crate::TraceFallback) to let the machine do
+    /// that itself (counted, so run metadata can name the engine that
+    /// actually executed).
+    TraceUnsupportedUnderParallel,
 }
 
 impl fmt::Display for MachineError {
@@ -82,6 +91,11 @@ impl fmt::Display for MachineError {
             MachineError::StrandedMessages { nodes } => {
                 write!(f, "messages stranded at {} halted node(s)", nodes.len())
             }
+            MachineError::TraceUnsupportedUnderParallel => write!(
+                f,
+                "lifecycle tracing is unsupported under Engine::Parallel; \
+                 use Engine::Event or opt into TraceFallback::Allow"
+            ),
         }
     }
 }
@@ -313,23 +327,50 @@ impl JMachine {
     /// # Panics
     ///
     /// Panics if the program fails validation (assembled programs are
-    /// always valid).
+    /// always valid), or if the configuration is rejected (see
+    /// [`JMachine::try_new`] for the fallible form).
     pub fn new(program: Program, config: MachineConfig) -> JMachine {
+        JMachine::try_new(program, config).expect("invalid machine configuration")
+    }
+
+    /// Boots a machine with `program` loaded on every node, reporting
+    /// configuration errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::TraceUnsupportedUnderParallel`] when the config
+    /// enables lifecycle tracing under [`Engine::Parallel`] without opting
+    /// into [`TraceFallback::Allow`] — a benchmark that asked for the
+    /// parallel engine must not silently measure a different one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation (assembled programs are
+    /// always valid).
+    pub fn try_new(program: Program, config: MachineConfig) -> Result<JMachine, MachineError> {
         program.validate().expect("invalid program image");
         let mut config = config;
         if config.trace.enabled && matches!(config.engine, Engine::Parallel(_)) {
             // Trace ids are injection ordinals from one global counter,
-            // which sharded injection does not maintain. Traced runs fall
-            // back to the event engine — bit-identical by construction, so
-            // the trace describes exactly what the parallel engine would
-            // have simulated. Counted and logged so run metadata can name
-            // the engine that actually executed.
-            PARALLEL_TRACE_FALLBACKS.fetch_add(1, Ordering::Relaxed);
-            eprintln!(
-                "jm-machine: warning: traced machine requested {:?}; running Engine::Event instead (bit-identical)",
-                config.engine
-            );
-            config.engine = Engine::Event;
+            // which sharded injection does not maintain.
+            match config.trace_fallback {
+                TraceFallback::Error => {
+                    return Err(MachineError::TraceUnsupportedUnderParallel);
+                }
+                TraceFallback::Allow => {
+                    // Fall back to the event engine — bit-identical by
+                    // construction, so the trace describes exactly what the
+                    // parallel engine would have simulated. Counted and
+                    // logged so run metadata can name the engine that
+                    // actually executed.
+                    PARALLEL_TRACE_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "jm-machine: warning: traced machine requested {:?}; running Engine::Event instead (bit-identical)",
+                        config.engine
+                    );
+                    config.engine = Engine::Event;
+                }
+            }
         }
         // Canonicalize the fault plan: a vacuous spec is no plan at all, so
         // every fault hook below stays on its fault-free path.
@@ -342,9 +383,21 @@ impl JMachine {
             SchedMode::ForcedEvent => ScanPolicy::ForcedSparse,
             SchedMode::ForcedScan => ScanPolicy::ForcedDense,
         };
+        // Slab count for the parallel engine: about two z-slabs per worker,
+        // but never finer than two z-planes per slab. Over-decomposing gives
+        // the crew slack to balance activity — a worker whose home slab
+        // went idle picks up a busy one — while `sharding_is_unobservable`
+        // (jm-net) guarantees the cut cannot change results. The two-plane
+        // grain floor matters on small meshes: one-plane slabs make *every*
+        // z-hop a cross-slab mailbox crossing (on a 4×4×4 mesh that is all
+        // of the z traffic), and the mailbox copies then eat the win; with
+        // two planes per slab, alternate plane boundaries stay in-slab.
         let shards = match config.engine {
-            Engine::Parallel(threads) => threads.max(1) as usize,
-            Engine::Event | Engine::Naive => 1,
+            Engine::Parallel(threads) if threads >= 2 => {
+                let z = config.dims.z as usize;
+                (2 * threads as usize).min(z / 2).max(1)
+            }
+            Engine::Parallel(_) | Engine::Event | Engine::Naive => 1,
         };
         let program = Arc::new(program);
         let mut nodes = config
@@ -376,7 +429,7 @@ impl JMachine {
                 })
                 .collect()
         };
-        JMachine {
+        Ok(JMachine {
             program,
             config,
             nodes,
@@ -384,7 +437,7 @@ impl JMachine {
             cycle: 0,
             scheds,
             samples: Vec::new(),
-        }
+        })
     }
 
     /// The loaded program image.
@@ -621,39 +674,48 @@ impl JMachine {
         }
     }
 
-    /// Hands the machine to one worker thread per shard until the
-    /// coordinator stops them (see [`crate::parallel`]), then resyncs the
-    /// machine clock. Only called with more than one shard.
+    /// Hands the machine to a crew of worker threads (at most one per slab,
+    /// at most the configured thread count) until the quantum coordinator
+    /// stops them (see [`crate::parallel`]), then resyncs the machine
+    /// clock. Only called with more than one shard.
     fn drive_parallel(&mut self, mode: crate::parallel::Mode) {
         let start = self.cycle;
+        let threads = match self.config.engine {
+            Engine::Parallel(t) => t.max(1) as usize,
+            Engine::Event | Engine::Naive => unreachable!("drive_parallel without Parallel"),
+        };
+        // Auto quantum: long enough that boundary coordination is noise
+        // against Q cycles of slab work, short enough that error stops and
+        // quiescence detection stay prompt.
+        let quantum = match self.config.quantum {
+            0 => 64,
+            q => u64::from(q),
+        };
         let (shards, edges) = self.net.shard_parts();
-        let ctl = crate::parallel::ParallelCtl::new(shards.len(), mode);
-        let mut workers = Vec::with_capacity(shards.len());
+        let ctl = crate::parallel::QuantumCtl::new(shards.len(), mode, quantum, start);
+        let mut slots = Vec::with_capacity(shards.len());
         let mut nodes_rest: &mut [MdpNode] = &mut self.nodes;
         let mut scheds_rest: &mut [EventSched] = &mut self.scheds;
-        for (k, shard) in shards.iter_mut().enumerate() {
+        for shard in shards.iter_mut() {
             let (nodes, rest) = std::mem::take(&mut nodes_rest).split_at_mut(shard.len());
             nodes_rest = rest;
             let (sched, rest) = std::mem::take(&mut scheds_rest)
                 .split_first_mut()
                 .expect("one scheduler per shard");
             scheds_rest = rest;
-            workers.push(crate::parallel::ShardWorker {
-                k,
-                shard,
-                sched,
-                nodes,
-            });
+            slots.push(std::sync::Mutex::new(crate::parallel::ShardSlot::new(
+                shard, sched, nodes,
+            )));
         }
+        let workers = threads.min(slots.len());
         std::thread::scope(|scope| {
             let ctl = &ctl;
-            let mut workers = workers.into_iter();
-            let mine = workers.next().expect("at least one shard");
-            for worker in workers {
-                scope.spawn(move || crate::parallel::worker_loop(worker, edges, ctl, start));
+            let slots = &slots;
+            for me in 1..workers {
+                scope.spawn(move || crate::parallel::crew_loop(me, workers, slots, edges, ctl));
             }
-            // The calling thread drives shard 0 instead of idling.
-            crate::parallel::worker_loop(mine, edges, ctl, start);
+            // The calling thread joins the crew instead of idling.
+            crate::parallel::crew_loop(0, workers, slots, edges, ctl);
         });
         self.cycle = ctl.final_cycle();
     }
@@ -1010,5 +1072,62 @@ mod tests {
             Err(MachineError::StrandedMessages { nodes }) => assert_eq!(nodes, vec![NodeId(0)]),
             other => panic!("expected stranded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_parallel_errors_unless_fallback_allowed() {
+        use crate::config::{TraceConfig, TraceFallback};
+        let cfg = MachineConfig::new(8)
+            .engine(Engine::Parallel(2))
+            .trace(TraceConfig::on());
+        // Default policy: refuse to build — a benchmark that asked for the
+        // parallel engine must not silently measure a different one.
+        match JMachine::try_new(rpc_program(), cfg) {
+            Err(MachineError::TraceUnsupportedUnderParallel) => {}
+            other => panic!("expected TraceUnsupportedUnderParallel, got {other:?}"),
+        }
+        // Opting in falls back to the (bit-identical) event engine and
+        // counts the fallback for run metadata.
+        let before = parallel_trace_fallbacks();
+        let m = JMachine::new(rpc_program(), cfg.trace_fallback(TraceFallback::Allow));
+        assert_eq!(m.config().engine, Engine::Event);
+        assert_eq!(parallel_trace_fallbacks(), before + 1);
+    }
+
+    #[test]
+    fn oversubscribed_parallel_run_stays_linear() {
+        // Regression test for the spin-barrier collapse: with more worker
+        // threads than host cores, busy-wait synchronization burned whole
+        // scheduling quanta and parallel-4 ran at 0.27x the event engine
+        // on the committed 1-CPU bench. The crew design lets whichever
+        // thread the OS runs advance *every* slab while task-starved
+        // workers escalate spin -> yield -> sleep, so adding threads past
+        // the core count may cost only a modest constant factor -- on any
+        // host, including a single-core one.
+        let spin = || {
+            let mut b = Builder::new();
+            b.label("spin");
+            b.br("spin");
+            b.entry("spin");
+            b.assemble().unwrap()
+        };
+        let wall = |threads: u32| {
+            let mut m = JMachine::new(
+                spin(),
+                MachineConfig::new(16)
+                    .start(StartPolicy::AllNodes)
+                    .engine(Engine::Parallel(threads)),
+            );
+            let t0 = std::time::Instant::now();
+            m.run(150_000);
+            assert_eq!(m.cycle(), 150_000);
+            t0.elapsed()
+        };
+        let p1 = wall(1);
+        let p4 = wall(4);
+        assert!(
+            p4 < p1 * 4 + std::time::Duration::from_millis(250),
+            "parallel-4 degraded super-linearly vs parallel-1: {p4:?} vs {p1:?}"
+        );
     }
 }

@@ -1,41 +1,75 @@
 //! Deterministic multi-threaded execution of a sharded machine.
 //!
-//! One worker thread per network shard (z-slab); each worker owns its slab's
-//! routers, its nodes, and their scheduler. A simulated cycle is two phases
-//! separated by barriers:
+//! The mesh is cut into contiguous z-slabs (about two per worker, so the
+//! crew can balance activity dynamically) and each slab's simulated cycle
+//! is two *tasks*:
 //!
-//! 1. **Step** ([`shard_cycle`]): the worker pumps its slab's ejection
-//!    FIFOs, ticks its due nodes, and steps its routers against the
-//!    *immutable* boundary-space snapshots published last cycle. Writes to
-//!    other shards go to edge mailboxes only.
-//! 2. **Exchange**: the worker drains mailboxes addressed to it, publishes
-//!    fresh boundary snapshots, and posts its status (work count, errors,
-//!    net-idle, next wake-up) to the control block. The last thread through
-//!    the second barrier runs the coordinator decision — continue, skip
-//!    idle cycles, or stop — which every worker then obeys.
+//! 1. **Phase 1** ([`shard_cycle`]): pump the slab's ejection FIFOs, tick
+//!    its due nodes, and step its routers against the *immutable* boundary
+//!    space snapshots the neighbors published for this cycle. Writes to
+//!    other slabs go to edge mailboxes only.
+//! 2. **Exchange**: drain the mailboxes addressed to this slab and publish
+//!    fresh boundary snapshots for the next cycle.
 //!
-//! Determinism: phase 1 reads no data another worker writes during phase 1
-//! (`jm_net::NetShard` documents why boundary space and deferred mailbox
-//! delivery are scan-order-independent), phase 2 touches only shard-own
-//! state plus mailboxes/snapshots with a single deterministic writer, and
-//! the coordinator reduces shard statuses in fixed order. Thread count and
-//! OS scheduling therefore cannot change any observable value — the
-//! equivalence suite runs the same workloads at 1, 2, and 4 threads against
-//! the sequential engines and demands bit-identical results.
+//! Earlier revisions ran one worker per slab in lockstep with two global
+//! barriers per simulated cycle; on a load-dominated mesh the barriers —
+//! not per-node work — dominated, and with fewer cores than workers each
+//! crossing burned a scheduling quantum. The crew design replaces both
+//! global barriers with the task graph's *neighbor-only* data dependencies:
 //!
-//! Idle-cycle skipping composes with sharding: when every shard reports an
-//! idle network, the coordinator jumps the global clock to the minimum
-//! wake-up cycle across shards (bounded by the deadline), exactly mirroring
-//! the sequential engine's `fast_forward`.
+//! * phase 1 of slab `k`, cycle `c` needs exchanges `c-1` of `k-1, k, k+1`
+//!   (their boundary snapshots for `c` are then published);
+//! * exchange of slab `k`, cycle `c` needs phase 1 `c` of `k-1, k, k+1`
+//!   (every mailbox entry for cycle `c` has then been posted).
+//!
+//! Any worker may execute any ready task: a slab is claimed with a
+//! `try_lock`, advanced as far as its dependencies allow, and released.
+//! Per-slab progress counters (`p_cycle`/`x_cycle`) are the dependency
+//! state; cross-slab latency is one cycle in both directions (mailbox
+//! deliveries carry `ready_cycle = c + 1`, space snapshots describe the
+//! *next* cycle's credit), so neighbor skew never exceeds one cycle and a
+//! mailbox holds at most one cycle's flits — which is why the single-slot
+//! mailbox/snapshot structures need no versioning. On an oversubscribed
+//! host the crew degenerates gracefully: whichever thread the OS runs
+//! sweeps *all* slabs forward itself instead of spinning on stragglers,
+//! and task-starved workers back off spin → yield → sleep ([`Backoff`]).
+//!
+//! Global coordination — the stop/skip decision `run_until_quiescent`
+//! makes every cycle on the sequential engines — runs only at **quantum
+//! boundaries**, every Q cycles ([`MachineConfig::quantum`]): phase 1 may
+//! not pass `decided_through`, so the task graph drains naturally at the
+//! boundary and exactly one worker claims the serial [`QuantumCtl::decide`]
+//! section. Fixed-cycle drives (`run(cycles)`) need no decisions at all —
+//! the deadline is the only boundary. Quiescence and the deadline are
+//! reconstructed *exactly* despite the deferred check (see
+//! `DESIGN.md` §4.10: a quiescent machine's extra cycles are pure counter
+//! increments, rewound before stopping); a node error stops the drive at
+//! the boundary after the error rather than the cycle after it — the one
+//! documented, deterministic divergence, and `quantum == 1` restores the
+//! per-cycle behavior bit-for-bit.
+//!
+//! Determinism: every task runs exactly once, under its slab's mutex, with
+//! all dependencies complete; phase 1 reads nothing another slab writes
+//! during phase 1, exchange touches only slab-own state plus mailboxes
+//! with deterministic content, and the decide section reduces slab
+//! statuses in fixed order. Which worker runs a task, the thread count,
+//! the slab count, and the quantum therefore cannot change any observable
+//! value — the equivalence suites run the same workloads across threads
+//! ∈ {1, 2, 4} × quanta ∈ {1, 2, 4, 8} against the sequential engines and
+//! demand bit-identical results.
 
-use crate::machine::{EventSched, ScanMode, PARKED};
+use crate::machine::{EventSched, ScanMode, NOT_IDLE, PARKED};
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::NodeId;
 use jm_isa::word::Word;
 use jm_mdp::{InjectAck, MdpNode, NetPort, TickOutcome};
 use jm_net::{edge_pair, Edge, InjectResult, NetShard};
 use std::cmp::Reverse;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
+};
+use std::sync::Mutex;
 
 /// Adapter giving one node's `SEND` instructions access to its shard's
 /// injection port (the shard-local sibling of the machine-level `Port`).
@@ -163,81 +197,97 @@ fn tick_node(
     sched.set_work(i, nodes[l].has_work());
 }
 
-/// Sense-reversing spin barrier. The last arriver may run a closure (the
-/// coordinator's serial section) before releasing the others. Spinning
-/// yields to the OS after a short burst so the scheme stays live even with
-/// fewer cores than workers.
-pub(crate) struct SpinBarrier {
-    n: usize,
-    count: AtomicUsize,
-    generation: AtomicU64,
+/// Escalating wait for task-starved workers: a short spin burst (the gap is
+/// usually one neighbor task), then bounded `yield_now`, then sleeping in
+/// growing slices. The sleep stage is what keeps an oversubscribed host
+/// (fewer cores than workers) healthy — a yield storm between runnable
+/// threads still burns the core the working thread needs, a sleeping
+/// straggler does not.
+pub(crate) struct Backoff {
+    step: u32,
 }
 
-impl SpinBarrier {
-    pub(crate) fn new(n: usize) -> SpinBarrier {
-        SpinBarrier {
-            n,
-            count: AtomicUsize::new(0),
-            generation: AtomicU64::new(0),
-        }
+/// Steps 0..SPIN: `spin_loop` bursts doubling in length.
+const SPIN_STEPS: u32 = 6;
+/// Steps SPIN..SPIN+YIELD: `yield_now`.
+const YIELD_STEPS: u32 = 8;
+/// Sleep slice at the first sleep step (doubles up to [`MAX_SLEEP_US`]).
+const BASE_SLEEP_US: u64 = 20;
+/// Longest single sleep. Sized for the oversubscribed case: a starved
+/// worker waking 4× per timeslice-ish interval costs the working thread
+/// almost nothing, while a busy crew resets long before reaching the cap.
+const MAX_SLEEP_US: u64 = 2_000;
+
+impl Backoff {
+    pub(crate) fn new() -> Backoff {
+        Backoff { step: 0 }
     }
 
-    /// Waits for all `n` workers; the last one runs `serial` before
-    /// releasing the rest.
-    pub(crate) fn wait_with(&self, serial: impl FnOnce()) {
-        let generation = self.generation.load(SeqCst);
-        if self.count.fetch_add(1, SeqCst) + 1 == self.n {
-            serial();
-            // Reset the count *before* bumping the generation: a released
-            // worker may re-arrive at the next barrier immediately, and its
-            // increment must start from zero. A straggler still spinning on
-            // the old generation has already contributed its increment, and
-            // the next round cannot complete without its new arrival.
-            self.count.store(0, SeqCst);
-            self.generation.fetch_add(1, SeqCst);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(SeqCst) == generation {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
+    /// Forget accumulated pressure (called after real progress).
+    pub(crate) fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Whether the next [`Backoff::snooze`] would sleep (for tests).
+    #[cfg(test)]
+    pub(crate) fn would_sleep(&self) -> bool {
+        self.step >= SPIN_STEPS + YIELD_STEPS
+    }
+
+    /// Wait a little, escalating each call until `reset`.
+    pub(crate) fn snooze(&mut self) {
+        if self.step < SPIN_STEPS {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
             }
+        } else if self.step < SPIN_STEPS + YIELD_STEPS {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.step - SPIN_STEPS - YIELD_STEPS).min(16);
+            let us = (BASE_SLEEP_US << exp).min(MAX_SLEEP_US);
+            std::thread::sleep(std::time::Duration::from_micros(us));
         }
+        self.step = self.step.saturating_add(1);
     }
 }
 
 /// What the machine is driving toward.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Mode {
-    /// `run(cycles)`: step to the deadline, no other checks.
+    /// `run(cycles)`: step to the deadline, no other checks (and therefore
+    /// no quantum decisions at all — the deadline is the only boundary).
     Fixed {
         /// Absolute cycle to stop at.
         deadline: u64,
     },
     /// `run_until_quiescent`: stop on error, quiescence, or the deadline;
-    /// skip idle stretches.
+    /// skip idle stretches. Checked at quantum boundaries.
     Quiescent {
         /// Absolute cycle of the budget.
         deadline: u64,
     },
 }
 
-/// Coordinator decisions, encoded in [`ParallelCtl::kind`].
-const CONTINUE: u8 = 0;
-const SKIP: u8 = 1;
-const STOP: u8 = 2;
+/// Sentinel in `quiet_since` slots: the shard is not currently quiet.
+const NOT_QUIET: u64 = u64::MAX;
 
-/// Per-shard status published at the end of every cycle, aligned out so two
-/// workers never share a cache line.
+/// Per-shard status written with the exchange of the last pre-boundary
+/// cycle and read by the decide section, aligned out so two workers never
+/// share a cache line. Plain (`Relaxed`) stores suffice: they are sequenced
+/// before the `Release` publication of `x_cycle`, whose `Acquire` read is
+/// how the decider learns the boundary completed.
 #[repr(align(128))]
-pub(crate) struct ShardStatus {
+struct ShardStatus {
     work: AtomicUsize,
     errors: AtomicUsize,
     net_idle: AtomicBool,
     next_wake: AtomicU64,
+    /// First cycle of the shard's current quiet run ([`NOT_QUIET`] when the
+    /// shard was not quiet after its last pre-boundary exchange).
+    quiet_since: AtomicU64,
+    /// Activity signal for the claim-order heuristic: flits buffered in the
+    /// slab plus nodes with work, as of the last boundary.
+    activity: AtomicU64,
 }
 
 impl ShardStatus {
@@ -247,132 +297,403 @@ impl ShardStatus {
             errors: AtomicUsize::new(0),
             net_idle: AtomicBool::new(false),
             next_wake: AtomicU64::new(0),
+            quiet_since: AtomicU64::new(NOT_QUIET),
+            activity: AtomicU64::new(0),
         }
     }
 }
 
-/// Shared control block for one parallel drive: the two per-cycle barriers,
-/// per-shard statuses, and the coordinator's decision.
-pub(crate) struct ParallelCtl {
-    barrier: SpinBarrier,
-    status: Vec<ShardStatus>,
-    mode: Mode,
-    /// Decision kind for the cycle just decided.
-    kind: AtomicU8,
-    /// Decision cycle: the skip target, or the cycle execution stopped at.
-    target: AtomicU64,
+/// Per-shard progress word, aligned out of its neighbors' cache lines.
+#[repr(align(128))]
+struct Progress(AtomicU64);
+
+/// One slab's mutable state, handed between workers under a mutex. The
+/// mutex is the claim: whoever holds it may run the slab's next ready task.
+pub(crate) struct ShardSlot<'a> {
+    pub(crate) shard: &'a mut NetShard,
+    pub(crate) sched: &'a mut EventSched,
+    pub(crate) nodes: &'a mut [MdpNode],
+    /// First cycle of the current quiet run (work_count == 0 and network
+    /// idle after that cycle's exchange), [`NOT_QUIET`] otherwise.
+    /// Quiescence is absorbing (nothing can wake a workless idle mesh), so
+    /// this only moves forward or resets on activity.
+    quiet_since: u64,
 }
 
-impl ParallelCtl {
-    pub(crate) fn new(shards: usize, mode: Mode) -> ParallelCtl {
-        ParallelCtl {
-            barrier: SpinBarrier::new(shards),
-            status: (0..shards).map(|_| ShardStatus::new()).collect(),
+impl<'a> ShardSlot<'a> {
+    pub(crate) fn new(
+        shard: &'a mut NetShard,
+        sched: &'a mut EventSched,
+        nodes: &'a mut [MdpNode],
+    ) -> ShardSlot<'a> {
+        ShardSlot {
+            shard,
+            sched,
+            nodes,
+            quiet_since: NOT_QUIET,
+        }
+    }
+}
+
+/// Shared control block for one parallel drive.
+pub(crate) struct QuantumCtl {
+    mode: Mode,
+    /// Cycles between global decisions (`Quiescent` mode only).
+    quantum: u64,
+    /// Per-slab: the next cycle whose phase 1 has not run.
+    p_cycle: Vec<Progress>,
+    /// Per-slab: the next cycle whose exchange has not run.
+    x_cycle: Vec<Progress>,
+    status: Vec<ShardStatus>,
+    /// Phase 1 may run cycles strictly below this (the current boundary).
+    decided_through: AtomicU64,
+    /// Boundary cycle whose decide section has been claimed (strictly
+    /// increasing; a failed claim means another worker owns this boundary).
+    claimed: AtomicU64,
+    stopped: AtomicBool,
+    final_cycle: AtomicU64,
+    /// Claim-order hint: slab indices, busiest first, refreshed by the
+    /// decide section from the boundary statuses. Purely a scheduling
+    /// heuristic — any order is correct — so entries are read/written
+    /// `Relaxed` and may be observed mid-update.
+    order: Vec<AtomicU32>,
+}
+
+impl QuantumCtl {
+    pub(crate) fn new(shards: usize, mode: Mode, quantum: u64, start: u64) -> QuantumCtl {
+        let quantum = quantum.max(1);
+        let first_boundary = match mode {
+            // No decisions: the whole drive is one quantum.
+            Mode::Fixed { deadline } => deadline,
+            Mode::Quiescent { deadline } => deadline.min(start.saturating_add(quantum)),
+        };
+        QuantumCtl {
             mode,
-            kind: AtomicU8::new(CONTINUE),
-            target: AtomicU64::new(0),
+            quantum,
+            p_cycle: (0..shards)
+                .map(|_| Progress(AtomicU64::new(start)))
+                .collect(),
+            x_cycle: (0..shards)
+                .map(|_| Progress(AtomicU64::new(start)))
+                .collect(),
+            status: (0..shards).map(|_| ShardStatus::new()).collect(),
+            decided_through: AtomicU64::new(first_boundary),
+            claimed: AtomicU64::new(start),
+            stopped: AtomicBool::new(false),
+            final_cycle: AtomicU64::new(start),
+            order: (0..shards).map(|k| AtomicU32::new(k as u32)).collect(),
         }
     }
 
     /// The cycle the machine stopped at (valid after the drive returns).
     pub(crate) fn final_cycle(&self) -> u64 {
-        self.target.load(SeqCst)
+        self.final_cycle.load(Acquire)
     }
 
-    /// Serial coordinator section, run by the last worker through the
-    /// end-of-cycle barrier. `c` is the cycle about to run. Reduces shard
-    /// statuses in fixed order and mirrors the sequential
-    /// `run_until_quiescent` loop head exactly: stop on error, quiescence,
-    /// or deadline; with every shard's network idle, skip to the earliest
-    /// wake-up (a skip that reaches the deadline stops there — the
-    /// sequential engine times out on the next iteration without stepping).
-    fn decide(&self, c: u64) {
+    fn stop(&self, cycle: u64) {
+        self.final_cycle.store(cycle, Release);
+        self.stopped.store(true, Release);
+    }
+
+    /// Whether phase 1 of `c` may run on slab `k`: the boundary gate, the
+    /// slab's own exchange of `c-1` (implied by the caller's progress
+    /// read), and both neighbors' exchanges of `c-1` — their boundary
+    /// snapshots for `c` are then final. `x_cycle` is the next unexchanged
+    /// cycle, so "exchanged through `c-1`" reads as `x_cycle >= c`.
+    fn phase1_ready(&self, k: usize, c: u64) -> bool {
+        if c >= self.decided_through.load(Acquire) {
+            return false;
+        }
+        (k == 0 || self.x_cycle[k - 1].0.load(Acquire) >= c)
+            && (k + 1 == self.x_cycle.len() || self.x_cycle[k + 1].0.load(Acquire) >= c)
+    }
+
+    /// Whether the exchange of `c` may run on slab `k`: both neighbors'
+    /// phase 1 of `c` (every mailbox entry for `c` is then posted). The
+    /// slab's own phase 1 is implied by the caller's progress read.
+    fn exchange_ready(&self, k: usize, c: u64) -> bool {
+        (k == 0 || self.p_cycle[k - 1].0.load(Acquire) > c)
+            && (k + 1 == self.p_cycle.len() || self.p_cycle[k + 1].0.load(Acquire) > c)
+    }
+
+    /// Advances slab `k` through every currently-ready task. Returns whether
+    /// anything ran.
+    fn advance(&self, k: usize, slot: &mut ShardSlot<'_>, edges: &[Edge]) -> bool {
+        let (below, above) = edge_pair(edges, k);
+        let mut progressed = false;
+        loop {
+            // Acquire: reading our own progress (possibly advanced by
+            // another worker that held this mutex) must also bring in the
+            // boundary value that worker saw, so the status-publication test
+            // below never compares against a stale `decided_through`
+            // (read-read coherence carries it over the mutex anyway; the
+            // Acquire documents the dependency).
+            let p = self.p_cycle[k].0.load(Acquire);
+            let x = self.x_cycle[k].0.load(Acquire);
+            if x < p {
+                // Exchange of cycle `x` is pending.
+                if !self.exchange_ready(k, x) {
+                    return progressed;
+                }
+                slot.shard.exchange(below, above);
+                let quiet = slot.sched.work_count == 0 && slot.shard.is_idle();
+                if quiet {
+                    if slot.quiet_since == NOT_QUIET {
+                        slot.quiet_since = x;
+                    }
+                } else {
+                    slot.quiet_since = NOT_QUIET;
+                }
+                if x + 1 == self.decided_through.load(Acquire) {
+                    // Last exchange before the boundary: publish status for
+                    // the decide section (sequenced before the `Release`
+                    // below).
+                    let st = &self.status[k];
+                    st.work.store(slot.sched.work_count, Relaxed);
+                    st.errors.store(slot.sched.error_count, Relaxed);
+                    st.net_idle.store(slot.shard.is_idle(), Relaxed);
+                    st.next_wake.store(slot.sched.next_due(), Relaxed);
+                    st.quiet_since.store(slot.quiet_since, Relaxed);
+                    st.activity.store(
+                        slot.shard.in_flight() + slot.sched.work_count as u64,
+                        Relaxed,
+                    );
+                }
+                self.x_cycle[k].0.store(x + 1, Release);
+            } else {
+                // Phase 1 of cycle `p` is pending.
+                if !self.phase1_ready(k, p) {
+                    return progressed;
+                }
+                shard_cycle(p, slot.shard, slot.sched, slot.nodes, below, above);
+                self.p_cycle[k].0.store(p + 1, Release);
+            }
+            progressed = true;
+        }
+    }
+
+    /// Boundary bookkeeping: detect completion of the current boundary and
+    /// either finish a `Fixed` drive or claim and run the serial decide
+    /// section. Cheap when the boundary is not yet complete (n atomic
+    /// loads). Returns whether this call decided (progress for the caller).
+    fn try_decide(&self, slots: &[Mutex<ShardSlot<'_>>]) -> bool {
+        if self.stopped.load(Acquire) {
+            return false;
+        }
+        let b = self.decided_through.load(Acquire);
+        if self.x_cycle.iter().any(|x| x.0.load(Acquire) < b) {
+            return false;
+        }
+        if let Mode::Fixed { deadline } = self.mode {
+            // All slabs exchanged through the deadline: the drive is done.
+            // Several workers may observe this; the store is idempotent.
+            self.stop(deadline);
+            return true;
+        }
+        // Claim this boundary (boundaries strictly increase, so an equal
+        // `claimed` value means another worker owns it).
+        let prev = self.claimed.load(Relaxed);
+        if prev >= b
+            || self
+                .claimed
+                .compare_exchange(prev, b, AcqRel, Relaxed)
+                .is_err()
+        {
+            return false;
+        }
+        self.decide(b, slots);
+        true
+    }
+
+    /// Serial coordinator section at boundary `b` (all slabs aligned at
+    /// `b`, no task runnable, this worker holds the claim). Mirrors the
+    /// sequential `run_until_quiescent` loop head: stop on error,
+    /// quiescence, or deadline; with every slab's network idle, skip to the
+    /// earliest wake-up. Quiescence is reconstructed exactly even though
+    /// the check is deferred — see the module docs and `DESIGN.md` §4.10.
+    fn decide(&self, b: u64, slots: &[Mutex<ShardSlot<'_>>]) {
+        let Mode::Quiescent { deadline } = self.mode else {
+            unreachable!("Fixed drives make no decisions");
+        };
         let mut work = 0usize;
         let mut errors = 0usize;
         let mut idle = true;
         let mut wake = u64::MAX;
-        for status in &self.status {
-            work += status.work.load(SeqCst);
-            errors += status.errors.load(SeqCst);
-            idle &= status.net_idle.load(SeqCst);
-            wake = wake.min(status.next_wake.load(SeqCst));
+        let mut quiet_max = 0u64;
+        let mut all_quiet = true;
+        for st in &self.status {
+            work += st.work.load(Relaxed);
+            errors += st.errors.load(Relaxed);
+            idle &= st.net_idle.load(Relaxed);
+            wake = wake.min(st.next_wake.load(Relaxed));
+            let q = st.quiet_since.load(Relaxed);
+            if q == NOT_QUIET {
+                all_quiet = false;
+            } else {
+                quiet_max = quiet_max.max(q);
+            }
         }
-        let (kind, target) = match self.mode {
-            Mode::Fixed { deadline } => {
-                if c >= deadline {
-                    (STOP, c)
-                } else {
-                    (CONTINUE, c)
-                }
-            }
-            Mode::Quiescent { deadline } => {
-                if errors > 0 || (work == 0 && idle) || c >= deadline {
-                    (STOP, c)
-                } else if idle {
-                    let t = wake.min(deadline);
-                    if t >= deadline {
-                        (STOP, deadline)
-                    } else if t > c {
-                        (SKIP, t)
-                    } else {
-                        (CONTINUE, c)
+        self.refresh_order();
+        if errors > 0 {
+            // Deterministic, quantum-granular: the sequential engines stop
+            // the cycle after the error; we stop at the boundary after it
+            // (identical when quantum == 1). Documented in DESIGN.md §4.10.
+            self.stop(b);
+            return;
+        }
+        if all_quiet {
+            debug_assert_eq!(work, 0, "quiet shards reported work");
+            // Globally quiescent since the end of cycle `quiet_max`: the
+            // sequential engines stop at `quiet_max + 1`; we overran by up
+            // to a quantum. The overrun simulated nothing except shard
+            // cycle-counter bumps plus — for each node that was still
+            // *scheduled* when the machine went quiet (a handler's final
+            // instruction reports busy-until before the node parks) —
+            // exactly one idle tick. Both are exactly invertible; unwind
+            // them and stop where the sequential engines stop.
+            let stop_at = quiet_max + 1;
+            for slot in slots {
+                let mut slot = slot.lock().expect("slab mutex poisoned");
+                let slot = &mut *slot;
+                slot.shard.rewind_idle_to(stop_at);
+                let base = slot.shard.base();
+                for l in 0..slot.nodes.len() {
+                    let since = slot.sched.idle_since[l];
+                    // `idle_since == w + 1` marks an idle tick at cycle `w`;
+                    // `w >= stop_at` means it ran in the overrun window.
+                    if since != NOT_IDLE && since > stop_at {
+                        slot.nodes[l].undo_idle_tick();
+                        slot.sched.idle_since[l] = NOT_IDLE;
+                        // Re-park the node exactly as sequential leaves it:
+                        // scheduled for the tick it has not yet taken.
+                        slot.sched.schedule(base + l, since - 1);
                     }
-                } else {
-                    (CONTINUE, c)
                 }
             }
-        };
-        self.kind.store(kind, SeqCst);
-        self.target.store(target, SeqCst);
+            self.stop(stop_at);
+            return;
+        }
+        if b >= deadline {
+            self.stop(b);
+            return;
+        }
+        if idle {
+            // Network idle everywhere but nodes still scheduled: mirror the
+            // sequential fast-forward. (Stepping the idle cycles up to here
+            // was equally a no-op, so skipping from `b` is exact.)
+            let t = wake.min(deadline);
+            if t >= deadline {
+                for slot in slots {
+                    let mut slot = slot.lock().expect("slab mutex poisoned");
+                    slot.shard.skip_to(deadline);
+                }
+                self.stop(deadline);
+                return;
+            }
+            if t > b {
+                for (k, slot) in slots.iter().enumerate() {
+                    let mut slot = slot.lock().expect("slab mutex poisoned");
+                    slot.shard.skip_to(t);
+                    self.p_cycle[k].0.store(t, Release);
+                    self.x_cycle[k].0.store(t, Release);
+                }
+                self.decided_through
+                    .store(deadline.min(t.saturating_add(self.quantum)), Release);
+                return;
+            }
+        }
+        self.decided_through
+            .store(deadline.min(b.saturating_add(self.quantum)), Release);
+    }
+
+    /// Re-sorts the claim-order hint by the just-published activity,
+    /// busiest slab first. Heuristic only: racing readers may see a mix of
+    /// old and new entries, which is harmless.
+    fn refresh_order(&self) {
+        let n = self.status.len();
+        let mut pairs: Vec<(u64, u32)> = (0..n)
+            .map(|k| (self.status[k].activity.load(Relaxed), k as u32))
+            .collect();
+        pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (slot, (_, k)) in self.order.iter().zip(pairs) {
+            slot.store(k, Relaxed);
+        }
     }
 }
 
-/// One worker's slice of the machine: its shard, scheduler, and nodes.
-pub(crate) struct ShardWorker<'a> {
-    pub(crate) k: usize,
-    pub(crate) shard: &'a mut NetShard,
-    pub(crate) sched: &'a mut EventSched,
-    pub(crate) nodes: &'a mut [MdpNode],
-}
-
-/// Body of one worker thread: run cycles in lockstep with the siblings until
-/// the coordinator stops everyone. Every worker makes the same sequence of
-/// barrier crossings and obeys the same decisions, so no worker can run
-/// ahead or exit early.
-pub(crate) fn worker_loop(w: ShardWorker<'_>, edges: &[Edge], ctl: &ParallelCtl, start: u64) {
-    let (below, above) = edge_pair(edges, w.k);
-    let mut now = start;
-    loop {
-        shard_cycle(now, w.shard, w.sched, w.nodes, below, above);
-        // Barrier 1: every shard finished phase 1 — mailboxes are complete
-        // and nobody reads boundary snapshots anymore this cycle.
-        ctl.barrier.wait_with(|| {});
-        w.shard.exchange(below, above);
-        let status = &ctl.status[w.k];
-        status.work.store(w.sched.work_count, SeqCst);
-        status.errors.store(w.sched.error_count, SeqCst);
-        status.net_idle.store(w.shard.is_idle(), SeqCst);
-        status.next_wake.store(w.sched.next_due(), SeqCst);
-        now += 1;
-        // Barrier 2: every shard finished phase 2; the last arriver decides
-        // what cycle `now` does.
-        ctl.barrier.wait_with(|| ctl.decide(now));
-        match ctl.kind.load(SeqCst) {
-            CONTINUE => {}
-            SKIP => {
-                let t = ctl.target.load(SeqCst);
-                w.shard.skip_to(t);
-                now = t;
-            }
-            _ => {
-                let t = ctl.target.load(SeqCst);
-                if t > now {
-                    // Stop-at-deadline via skip: only issued when every
-                    // shard's network is idle.
-                    w.shard.skip_to(t);
-                }
-                break;
+/// Body of one crew worker: sweep the slabs (own home slab first, then the
+/// activity-ordered rest), advancing every slab whose mutex is free and
+/// whose next task is ready, deciding at quantum boundaries, and backing
+/// off when task-starved.
+pub(crate) fn crew_loop(
+    me: usize,
+    workers: usize,
+    slots: &[Mutex<ShardSlot<'_>>],
+    edges: &[Edge],
+    ctl: &QuantumCtl,
+) {
+    let n = slots.len();
+    // Spread workers' home slabs across the mesh so the common case is
+    // every worker advancing its own pipeline stage.
+    let home = me * n / workers.max(1);
+    let mut backoff = Backoff::new();
+    while !ctl.stopped.load(Acquire) {
+        let mut progressed = false;
+        // Home slab first, then every slab in activity order (busiest
+        // first). Every slab appears in the sweep — the order hint biases
+        // contention, it must never starve a dependency.
+        for j in 0..=n {
+            let k = if j == 0 {
+                home
+            } else {
+                ctl.order[j - 1].load(Relaxed) as usize % n
+            };
+            if let Ok(mut slot) = slots[k].try_lock() {
+                progressed |= ctl.advance(k, &mut slot, edges);
             }
         }
+        progressed |= ctl.try_decide(slots);
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_escalates_to_sleeping() {
+        let mut b = Backoff::new();
+        assert!(!b.would_sleep());
+        for _ in 0..(SPIN_STEPS + YIELD_STEPS) {
+            assert!(!b.would_sleep());
+            b.snooze();
+        }
+        assert!(b.would_sleep(), "escalation never reached the sleep stage");
+        b.reset();
+        assert!(!b.would_sleep());
+    }
+
+    #[test]
+    fn backoff_sleep_slices_are_bounded() {
+        // The capped slice keeps worst-case wake-up latency small even
+        // after long starvation.
+        let exp = 16u32;
+        assert!((BASE_SLEEP_US << exp.min(16)).min(MAX_SLEEP_US) <= MAX_SLEEP_US);
+        let mut b = Backoff::new();
+        for _ in 0..(SPIN_STEPS + YIELD_STEPS) {
+            b.snooze();
+        }
+        let t0 = std::time::Instant::now();
+        b.snooze(); // first sleep step
+        let waited = t0.elapsed();
+        assert!(
+            waited >= std::time::Duration::from_micros(BASE_SLEEP_US / 2),
+            "sleep step did not sleep ({waited:?})"
+        );
     }
 }

@@ -3,21 +3,37 @@
 use jm_isa::consts::{EMEM_BASE, MEM_WORDS};
 use jm_isa::word::Word;
 
+/// Words per lazily allocated DRAM page (32 KiB of `Word`s).
+const PAGE_WORDS: usize = 4096;
+/// Number of DRAM pages covering `EMEM_BASE..MEM_WORDS`.
+const PAGE_COUNT: usize = (MEM_WORDS - EMEM_BASE) as usize / PAGE_WORDS;
+
 /// A node's directly addressed memory: 4K words of on-chip SRAM at
 /// `0..EMEM_BASE` followed by 256K words of DRAM.
 ///
 /// `Memory` is storage only; access *timing* and the memory-mapped queue and
 /// staging windows live in the execution engine.
+///
+/// The SRAM is allocated eagerly (every handler touches it), but the DRAM
+/// is demand-paged in [`PAGE_WORDS`]-word chunks: an unwritten page reads
+/// as [`Word::NIL`] without existing. A node that never spills to external
+/// memory costs ~33 KiB instead of the 2.1 MiB a flat array would take —
+/// the difference between a 16×16×16 mesh (4096 nodes) needing ~140 MiB
+/// and needing 8.5 GiB.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    words: Vec<Word>,
+    /// On-chip SRAM, `0..EMEM_BASE`.
+    imem: Box<[Word]>,
+    /// External DRAM pages, `None` until first written.
+    pages: Vec<Option<Box<[Word]>>>,
 }
 
 impl Memory {
     /// Creates nil-initialized memory.
     pub fn new() -> Memory {
         Memory {
-            words: vec![Word::NIL; MEM_WORDS as usize],
+            imem: vec![Word::NIL; EMEM_BASE as usize].into_boxed_slice(),
+            pages: (0..PAGE_COUNT).map(|_| None).collect(),
         }
     }
 
@@ -29,7 +45,15 @@ impl Memory {
     /// execution engine raises a Bounds fault instead).
     #[inline]
     pub fn read(&self, addr: u32) -> Word {
-        self.words[addr as usize]
+        if addr < EMEM_BASE {
+            return self.imem[addr as usize];
+        }
+        let off = (addr - EMEM_BASE) as usize;
+        debug_assert!(addr < MEM_WORDS, "read past external memory");
+        match &self.pages[off / PAGE_WORDS] {
+            Some(page) => page[off % PAGE_WORDS],
+            None => Word::NIL,
+        }
     }
 
     /// Writes a word.
@@ -39,7 +63,15 @@ impl Memory {
     /// Panics if `addr` is out of range.
     #[inline]
     pub fn write(&mut self, addr: u32, word: Word) {
-        self.words[addr as usize] = word;
+        if addr < EMEM_BASE {
+            self.imem[addr as usize] = word;
+            return;
+        }
+        let off = (addr - EMEM_BASE) as usize;
+        debug_assert!(addr < MEM_WORDS, "write past external memory");
+        let page = self.pages[off / PAGE_WORDS]
+            .get_or_insert_with(|| vec![Word::NIL; PAGE_WORDS].into_boxed_slice());
+        page[off % PAGE_WORDS] = word;
     }
 
     /// Whether an address is in range.
@@ -60,8 +92,13 @@ impl Memory {
     ///
     /// Panics if the slice exceeds memory.
     pub fn load(&mut self, base: u32, words: &[Word]) {
-        let base = base as usize;
-        self.words[base..base + words.len()].copy_from_slice(words);
+        assert!(
+            (base as usize) + words.len() <= MEM_WORDS as usize,
+            "bulk load past the end of memory"
+        );
+        for (i, &word) in words.iter().enumerate() {
+            self.write(base + i as u32, word);
+        }
     }
 
     /// Reads `len` words starting at `base` (host-side extraction).
@@ -70,8 +107,11 @@ impl Memory {
     ///
     /// Panics if the range exceeds memory.
     pub fn dump(&self, base: u32, len: u32) -> Vec<Word> {
-        let base = base as usize;
-        self.words[base..base + len as usize].to_vec()
+        assert!(
+            (base as usize) + len as usize <= MEM_WORDS as usize,
+            "dump past the end of memory"
+        );
+        (base..base + len).map(|a| self.read(a)).collect()
     }
 }
 
@@ -108,5 +148,29 @@ mod tests {
         let data = vec![Word::int(7), Word::int(8), Word::int(9)];
         m.load(5000, &data);
         assert_eq!(m.dump(5000, 3), data);
+    }
+
+    #[test]
+    fn unwritten_dram_reads_nil_without_allocating() {
+        let m = Memory::new();
+        assert_eq!(m.read(EMEM_BASE), Word::NIL);
+        assert_eq!(m.read(MEM_WORDS - 1), Word::NIL);
+        assert!(m.pages.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn dram_pages_allocate_on_first_write_only() {
+        let mut m = Memory::new();
+        m.write(EMEM_BASE + 1, Word::int(9));
+        assert_eq!(m.pages.iter().filter(|p| p.is_some()).count(), 1);
+        assert_eq!(m.read(EMEM_BASE + 1).as_i32(), 9);
+        assert_eq!(m.read(EMEM_BASE), Word::NIL);
+        // A cross-page bulk load touches exactly the pages it spans.
+        let span = vec![Word::int(1); PAGE_WORDS + 2];
+        m.load(MEM_WORDS - span.len() as u32, &span);
+        assert_eq!(
+            m.dump(MEM_WORDS - span.len() as u32, 3),
+            vec![Word::int(1); 3]
+        );
     }
 }

@@ -525,6 +525,22 @@ impl MdpNode {
         self.stats.add_cycles(StatClass::Idle, cycles);
     }
 
+    /// Unwinds the idle tick the node just took (engine-internal). The
+    /// parallel engine's quantum coordinator detects quiescence a few
+    /// cycles late; a node that was still scheduled when the machine went
+    /// quiet takes exactly one [`TickOutcome::Idle`] tick in that overrun
+    /// window, which the sequential engines never run. An idle tick's whole
+    /// effect on the node is one idle stat cycle and the `busy_until` bump,
+    /// so undoing both restores the pre-tick state bit for bit.
+    pub fn undo_idle_tick(&mut self) {
+        debug_assert!(
+            self.stats.class_cycles(StatClass::Idle) > 0 && self.busy_until > 0,
+            "undo_idle_tick without a preceding idle tick"
+        );
+        self.stats.cycles[StatClass::Idle.index()] -= 1;
+        self.busy_until -= 1;
+    }
+
     fn dispatch(&mut self, mp: MsgPriority, now: u64) {
         let q = mp.index();
         let header = match self.queues[q].header() {

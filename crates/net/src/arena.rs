@@ -54,16 +54,7 @@ pub(crate) struct ChannelArena {
 
 /// A placeholder flit for unoccupied ring slots (never read).
 fn nil_flit() -> Flit {
-    Flit {
-        dest: jm_isa::node::Coord::new(0, 0, 0),
-        payload: None,
-        head: false,
-        tail: false,
-        priority: jm_isa::instr::MsgPriority::P0,
-        inject_cycle: 0,
-        ready_cycle: 0,
-        trace: jm_isa::TraceId::NONE,
-    }
+    Flit::nil()
 }
 
 impl ChannelArena {
@@ -235,10 +226,9 @@ mod tests {
     use super::*;
 
     fn flit(ready: u64) -> Flit {
-        Flit {
-            ready_cycle: ready,
-            ..nil_flit()
-        }
+        let mut f = nil_flit();
+        f.ready_cycle = ready;
+        f
     }
 
     #[test]

@@ -37,26 +37,37 @@ impl BitSet {
         self.words[index / 64] & (1u64 << (index % 64)) != 0
     }
 
+    // insert/remove use an early-return branch rather than the branchless
+    // `count += fresh as usize` formulation: the branchless version is
+    // miscompiled by the current toolchain at opt-level >= 2 when overflow
+    // checks are off (const-propagated call sequences fold `count` to 0),
+    // which is exactly the release profile. The branch also costs nothing:
+    // callers almost always insert fresh / remove present indices.
+
     /// Inserts `index`; returns `true` if it was not already present.
     #[inline]
     pub fn insert(&mut self, index: usize) -> bool {
-        let word = &mut self.words[index / 64];
         let bit = 1u64 << (index % 64);
-        let fresh = *word & bit == 0;
-        *word |= bit;
-        self.count += fresh as usize;
-        fresh
+        let word = self.words[index / 64];
+        if word & bit != 0 {
+            return false;
+        }
+        self.words[index / 64] = word | bit;
+        self.count += 1;
+        true
     }
 
     /// Removes `index`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, index: usize) -> bool {
-        let word = &mut self.words[index / 64];
         let bit = 1u64 << (index % 64);
-        let present = *word & bit != 0;
-        *word &= !bit;
-        self.count -= present as usize;
-        present
+        let word = self.words[index / 64];
+        if word & bit == 0 {
+            return false;
+        }
+        self.words[index / 64] = word & !bit;
+        self.count -= 1;
+        true
     }
 
     /// Removes every index.

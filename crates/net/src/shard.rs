@@ -43,7 +43,7 @@ use jm_isa::tag::Tag;
 use jm_isa::word::Word;
 use jm_isa::TraceId;
 use jm_trace::{Event, EventKind, FaultEvent, Tracer};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 /// Result of offering one word to the injection port.
@@ -128,6 +128,13 @@ pub struct Edge {
     up: Mutex<Vec<(u32, usize, Flit)>>,
     /// Flits crossing downward (−z out of the shard above).
     down: Mutex<Vec<(u32, usize, Flit)>>,
+    /// Whether `up`/`down` holds anything — lets the draining shard skip
+    /// the mutex on the (common) cycle with no boundary traffic. `Relaxed`
+    /// is enough: the poster's phase 1 and the drainer's exchange are
+    /// ordered by the engine's progress counters (or barriers), never by
+    /// this flag.
+    up_any: AtomicBool,
+    down_any: AtomicBool,
     /// Free slots, at the start of the coming cycle, in the shard-above's
     /// lowest-plane `+z` input buffers: `[plane index][vnet]`. Written only
     /// by the shard above (during its exchange), read only by the shard
@@ -146,6 +153,8 @@ impl Edge {
         Edge {
             up: Mutex::new(Vec::new()),
             down: Mutex::new(Vec::new()),
+            up_any: AtomicBool::new(false),
+            down_any: AtomicBool::new(false),
             up_space: (0..plane).map(fresh).collect(),
             down_space: (0..plane).map(fresh).collect(),
         }
@@ -193,6 +202,12 @@ pub struct NetShard {
     eject_pending: BitSet,
     /// Scratch buffer for the active-set snapshot taken by `step_cycle`.
     scratch: Vec<u32>,
+    /// Boundary-crossing flits accumulated during the router scan, flushed
+    /// into the edge mailboxes once per cycle — one mutex acquisition per
+    /// edge instead of one per flit. FIFO order preserves the scan order
+    /// the mailbox contract promises.
+    cross_up: Vec<(u32, usize, Flit)>,
+    cross_down: Vec<(u32, usize, Flit)>,
     /// The message currently streaming on the bulk fast path, if any.
     /// Invariant: while set, the shard holds no buffered flits — every
     /// in-flight flit belongs to this message and is virtual.
@@ -271,6 +286,8 @@ impl NetShard {
             active: BitSet::new(len),
             eject_pending: BitSet::new(len),
             scratch: Vec::new(),
+            cross_up: Vec::new(),
+            cross_down: Vec::new(),
             bulk: None,
             tracer: None,
             fault: None,
@@ -344,6 +361,23 @@ impl NetShard {
     pub fn skip_to(&mut self, cycle: u64) {
         debug_assert_eq!(self.in_flight, 0, "skip_to with flits in flight");
         self.cycle = self.cycle.max(cycle);
+    }
+
+    /// Moves the cycle counter *backwards* to `cycle`, undoing counter-only
+    /// idle steps. Only legal while the shard holds no flits and no
+    /// undelivered words: an idle [`NetShard::step_cycle`] does nothing but
+    /// increment the counter, so unwinding the increments reconstructs the
+    /// pre-step state exactly. The parallel engine's quantum coordinator
+    /// uses this when deferred quiescence detection finds the mesh went
+    /// quiet mid-quantum (see `DESIGN.md` §4.10).
+    pub fn rewind_idle_to(&mut self, cycle: u64) {
+        debug_assert_eq!(self.in_flight, 0, "rewind_idle_to with flits in flight");
+        debug_assert!(
+            self.eject_pending.is_empty(),
+            "rewind_idle_to with undelivered words"
+        );
+        debug_assert!(cycle <= self.cycle, "rewind_idle_to must not advance");
+        self.cycle = cycle;
     }
 
     #[inline]
@@ -465,7 +499,6 @@ impl NetShard {
             is_route,
             head_word,
             end,
-            priority,
             msg_start,
             cycle + inject_latency,
             trace,
@@ -563,7 +596,6 @@ impl NetShard {
                 i == 0,
                 i == 0,
                 i + 1 == words.len(),
-                priority,
                 cycle,
                 cycle + inject_latency,
                 trace,
@@ -650,7 +682,6 @@ impl NetShard {
                 i == 0,
                 i == 0,
                 i + 1 == words.len(),
-                priority,
                 cycle,
                 cycle + self.config.inject_latency,
                 trace,
@@ -698,7 +729,7 @@ impl NetShard {
             // that is the per-hop lifecycle event.
             if rel < hops {
                 if let Some(tracer) = &mut self.tracer {
-                    let id = b.flits[0].trace;
+                    let id = b.flits[0].trace();
                     if id.is_some() {
                         tracer.emit(
                             cycle,
@@ -717,24 +748,26 @@ impl NetShard {
             let flit = b.flits[(rel - hops) as usize];
             let dest = *b.path.last().expect("bulk path has a destination") as usize;
             self.in_flight -= 1;
-            if let Some(word) = flit.payload {
-                self.routers[dest].ejected[b.vnet].push_back((word, flit.trace));
+            if let Some(word) = flit.payload() {
+                self.routers[dest].ejected[b.vnet].push_back((word, flit.trace()));
                 self.eject_pending.insert(dest);
                 self.stats.delivered_words += 1;
                 if let Some(tracer) = &mut self.tracer {
-                    if flit.trace.is_some() && self.routers[dest].eject_cur[b.vnet] != flit.trace {
-                        self.routers[dest].eject_cur[b.vnet] = flit.trace;
+                    if flit.trace().is_some()
+                        && self.routers[dest].eject_cur[b.vnet] != flit.trace()
+                    {
+                        self.routers[dest].eject_cur[b.vnet] = flit.trace();
                         tracer.emit(
                             cycle,
                             EventKind::Deliver {
-                                id: flit.trace,
+                                id: flit.trace(),
                                 node: NodeId((self.base + dest) as u32),
                             },
                         );
                     }
                 }
             }
-            if flit.tail {
+            if flit.tail() {
                 self.stats.delivered_msgs += 1;
                 let latency = cycle + 1 - flit.inject_cycle;
                 self.stats.latency_sum += latency;
@@ -905,6 +938,24 @@ impl NetShard {
             }
             self.scratch = snapshot;
         }
+        // Flush boundary crossings accumulated by the scan: one mailbox
+        // acquisition per edge per cycle, in scan (FIFO) order.
+        if !self.cross_up.is_empty() {
+            let edge = above.expect("+z crossing without an upper edge");
+            edge.up
+                .lock()
+                .expect("mailbox poisoned")
+                .extend(self.cross_up.drain(..));
+            edge.up_any.store(true, Ordering::Relaxed);
+        }
+        if !self.cross_down.is_empty() {
+            let edge = below.expect("-z crossing without a lower edge");
+            edge.down
+                .lock()
+                .expect("mailbox poisoned")
+                .extend(self.cross_down.drain(..));
+            edge.down_any.store(true, Ordering::Relaxed);
+        }
         self.retune();
         self.cycle += 1;
     }
@@ -961,10 +1012,10 @@ impl NetShard {
                     if owner >= 0 {
                         continue;
                     }
-                    if !flit.head {
+                    if !flit.head() {
                         // A body flit whose path was already torn down
                         // cannot occur under wormhole FIFO discipline.
-                        debug_assert!(flit.head, "orphan body flit");
+                        debug_assert!(flit.head(), "orphan body flit");
                         continue;
                     }
                 }
@@ -986,7 +1037,8 @@ impl NetShard {
                 // both are scan-order-independent (module docs).
                 let mut local_m = usize::MAX;
                 if out == OUT_EJECT {
-                    if flit.payload.is_some() && self.routers[n].ejected[vnet].len() >= eject_fifo {
+                    if flit.payload().is_some() && self.routers[n].ejected[vnet].len() >= eject_fifo
+                    {
                         continue;
                     }
                 } else {
@@ -1017,15 +1069,15 @@ impl NetShard {
                 in_used |= 1 << in_port;
                 out_used |= 1 << out;
                 self.arena
-                    .set_owner(n, vnet, out, if flit.tail { -1 } else { in_port as i8 });
+                    .set_owner(n, vnet, out, if flit.tail() { -1 } else { in_port as i8 });
                 if out == OUT_EJECT {
                     self.in_flight -= 1;
-                    if let Some(word) = flit.payload {
+                    if let Some(word) = flit.payload() {
                         let mut word = word;
                         if self.fault.is_some() {
-                            word = self.eject_faulted(word, n, vnet, flit.trace);
+                            word = self.eject_faulted(word, n, vnet, flit.trace());
                         }
-                        self.routers[n].ejected[vnet].push_back((word, flit.trace));
+                        self.routers[n].ejected[vnet].push_back((word, flit.trace()));
                         self.eject_pending.insert(n);
                         self.stats.delivered_words += 1;
                         // The message's first payload word (its header)
@@ -1035,20 +1087,21 @@ impl NetShard {
                         // keying on the tail would let dispatch precede
                         // delivery.
                         if let Some(tracer) = &mut self.tracer {
-                            if flit.trace.is_some() && self.routers[n].eject_cur[vnet] != flit.trace
+                            if flit.trace().is_some()
+                                && self.routers[n].eject_cur[vnet] != flit.trace()
                             {
-                                self.routers[n].eject_cur[vnet] = flit.trace;
+                                self.routers[n].eject_cur[vnet] = flit.trace();
                                 tracer.emit(
                                     cycle,
                                     EventKind::Deliver {
-                                        id: flit.trace,
+                                        id: flit.trace(),
                                         node: NodeId((self.base + n) as u32),
                                     },
                                 );
                             }
                         }
                     }
-                    if flit.tail {
+                    if flit.tail() {
                         if self.fault.is_some() {
                             self.routers[n].eject_hdr_seen[vnet] = false;
                         }
@@ -1065,13 +1118,13 @@ impl NetShard {
                         self.stats.latency_max = self.stats.latency_max.max(latency);
                     }
                 } else {
-                    if flit.head {
+                    if flit.head() {
                         if let Some(tracer) = &mut self.tracer {
-                            if flit.trace.is_some() {
+                            if flit.trace().is_some() {
                                 tracer.emit(
                                     cycle,
                                     EventKind::Hop {
-                                        id: flit.trace,
+                                        id: flit.trace(),
                                         node: NodeId((self.base + n) as u32),
                                     },
                                 );
@@ -1096,16 +1149,14 @@ impl NetShard {
                         // same-cycle consumer).
                         self.in_flight -= 1;
                         let code = self.neigh[n][out];
-                        let mailbox = if code & NEIGH_DOWN == 0 {
-                            &above.expect("checked above").up
+                        let scratch = if code & NEIGH_DOWN == 0 {
+                            debug_assert!(above.is_some(), "checked above");
+                            &mut self.cross_up
                         } else {
-                            &below.expect("checked above").down
+                            debug_assert!(below.is_some(), "checked above");
+                            &mut self.cross_down
                         };
-                        mailbox.lock().expect("mailbox poisoned").push((
-                            code & NEIGH_ID,
-                            vnet,
-                            moved,
-                        ));
+                        scratch.push((code & NEIGH_ID, vnet, moved));
                     }
                 }
             }
@@ -1122,41 +1173,56 @@ impl NetShard {
         let plane = self.plane();
         let flit_buffer = self.config.flit_buffer;
         if let Some(edge) = below {
-            let mut inbox = edge.up.lock().expect("mailbox poisoned");
-            for (dest, vnet, flit) in inbox.drain(..) {
-                let l = self.local(NodeId(dest));
-                debug_assert!(l < plane, "up-crossing flit beyond the bottom plane");
-                self.arena.push(l, vnet, OUT_ZPOS, flit);
-                self.occ[l] += 1;
-                self.in_flight += 1;
-                self.active.insert(l);
+            // The mutex is skipped on no-traffic cycles (the flag is set by
+            // the poster's phase 1, already ordered before this exchange),
+            // and a space snapshot is re-stored only when its value moved —
+            // unchanged slots stay clean in the neighbor's cache instead of
+            // bouncing the line every cycle.
+            if edge.up_any.swap(false, Ordering::Relaxed) {
+                let mut inbox = edge.up.lock().expect("mailbox poisoned");
+                for (dest, vnet, flit) in inbox.drain(..) {
+                    let l = self.local(NodeId(dest));
+                    debug_assert!(l < plane, "up-crossing flit beyond the bottom plane");
+                    self.arena.push(l, vnet, OUT_ZPOS, flit);
+                    self.occ[l] += 1;
+                    self.in_flight += 1;
+                    self.active.insert(l);
+                }
             }
-            drop(inbox);
             for p in 0..plane {
                 for vnet in 0..2 {
                     let len = self.arena.len(p, vnet, OUT_ZPOS);
                     debug_assert!(len <= flit_buffer, "boundary buffer over capacity");
-                    edge.up_space[p][vnet].store((flit_buffer - len) as u8, Ordering::Release);
+                    let space = (flit_buffer - len) as u8;
+                    let slot = &edge.up_space[p][vnet];
+                    if slot.load(Ordering::Relaxed) != space {
+                        slot.store(space, Ordering::Release);
+                    }
                 }
             }
         }
         if let Some(edge) = above {
             let top = self.routers.len() - plane;
-            let mut inbox = edge.down.lock().expect("mailbox poisoned");
-            for (dest, vnet, flit) in inbox.drain(..) {
-                let l = self.local(NodeId(dest));
-                debug_assert!(l >= top, "down-crossing flit above the top plane");
-                self.arena.push(l, vnet, OUT_ZNEG, flit);
-                self.occ[l] += 1;
-                self.in_flight += 1;
-                self.active.insert(l);
+            if edge.down_any.swap(false, Ordering::Relaxed) {
+                let mut inbox = edge.down.lock().expect("mailbox poisoned");
+                for (dest, vnet, flit) in inbox.drain(..) {
+                    let l = self.local(NodeId(dest));
+                    debug_assert!(l >= top, "down-crossing flit above the top plane");
+                    self.arena.push(l, vnet, OUT_ZNEG, flit);
+                    self.occ[l] += 1;
+                    self.in_flight += 1;
+                    self.active.insert(l);
+                }
             }
-            drop(inbox);
             for p in 0..plane {
                 for vnet in 0..2 {
                     let len = self.arena.len(top + p, vnet, OUT_ZNEG);
                     debug_assert!(len <= flit_buffer, "boundary buffer over capacity");
-                    edge.down_space[p][vnet].store((flit_buffer - len) as u8, Ordering::Release);
+                    let space = (flit_buffer - len) as u8;
+                    let slot = &edge.down_space[p][vnet];
+                    if slot.load(Ordering::Relaxed) != space {
+                        slot.store(space, Ordering::Release);
+                    }
                 }
             }
         }

@@ -1,0 +1,301 @@
+//! Quantum-sweep differential tests: the parallel engine must stay
+//! **cycle-exact** with the event engine for every quantum length, not just
+//! the default. The quantum Q controls how many cycles each shard advances
+//! between synchronization boundaries (DESIGN.md §4.10); correctness must
+//! not depend on where those boundaries fall, so every workload here is
+//! swept over Q ∈ {1, 2, 4, 8} × threads ∈ {1, 2, 4} (plus Q = 0, the
+//! auto-tuned default) and every observable is compared against an
+//! `Engine::Event` baseline: the `run_until_quiescent` outcome, the
+//! aggregated statistics digest (per-class cycles, handler counters,
+//! network delivery record), and the final contents of every declared data
+//! block on every node.
+//!
+//! The sweep deliberately includes the two schedules most likely to break
+//! boundary handling:
+//!
+//! * **Idle-skip across a quantum boundary** — a workload whose dispatch
+//!   cost (50 cycles) dwarfs every quantum under test, so each fast-forward
+//!   skip crosses several boundaries and the deferred-quiescence rewind
+//!   must restore the pre-overrun state exactly.
+//! * **A chaos fault plan** — flaky links, checksummed retries, and a
+//!   link-down window, where any divergence in cycle numbering would
+//!   reseed every downstream fault draw and cascade into the stats.
+
+use jm_asm::{hdr, Builder, Program, Region};
+use jm_isa::instr::{AluOp, MsgPriority};
+use jm_isa::node::NodeId;
+use jm_isa::operand::{MemRef, Special};
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::word::Word;
+use jm_machine::{
+    Engine, FaultSpec, FaultWindow, JMachine, MachineConfig, MachineStats, StartPolicy,
+};
+use jm_mdp::{MdpConfig, TimingConfig};
+use jm_runtime::{nnr, reliable};
+
+/// Quanta under test. 1 forces a boundary every cycle (maximum coupling),
+/// 8 leaves multi-cycle slack inside each boundary; 0 is the auto default.
+const QUANTA: [u32; 5] = [0, 1, 2, 4, 8];
+const THREADS: [u32; 3] = [1, 2, 4];
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    /// `Ok(cycles)` or the error's debug rendering.
+    outcome: Result<u64, String>,
+    /// Aggregated statistics digest (includes the network delivery record:
+    /// delivered words, messages sent/received, per-class cycle counts).
+    stats: MachineStats,
+    /// Per-node contents of every declared data block.
+    memory: Vec<Vec<Word>>,
+}
+
+/// Runs `program` under `config` and records every observable.
+fn observe(
+    program: Program,
+    config: MachineConfig,
+    max_cycles: u64,
+    setup: impl Fn(&mut JMachine),
+) -> Observation {
+    let mut m = JMachine::new(program, config);
+    setup(&mut m);
+    let outcome = m
+        .run_until_quiescent(max_cycles)
+        .map_err(|e| format!("{e:?}"));
+    let mut memory = Vec::new();
+    for id in 0..m.node_count() {
+        let node = m.node(NodeId(id));
+        let mut words = Vec::new();
+        for block in &m.program().data {
+            words.extend(node.dump_mem(block.base, block.len));
+        }
+        memory.push(words);
+    }
+    Observation {
+        outcome,
+        stats: m.stats(),
+        memory,
+    }
+}
+
+/// Runs the workload under `Engine::Event`, then under `Parallel(t)` for
+/// every (threads, quantum) combination, asserting bit-identical
+/// observables against the event baseline. Returns the baseline.
+fn assert_quantum_exact(
+    label: &str,
+    program: impl Fn() -> Program,
+    config: MachineConfig,
+    max_cycles: u64,
+    setup: impl Fn(&mut JMachine),
+) -> Observation {
+    let event = observe(program(), config.engine(Engine::Event), max_cycles, &setup);
+    for &t in &THREADS {
+        for &q in &QUANTA {
+            let cfg = config.engine(Engine::Parallel(t)).quantum(q);
+            let other = observe(program(), cfg, max_cycles, &setup);
+            assert_eq!(
+                event.outcome, other.outcome,
+                "{label}/parallel-{t}/q{q}: run outcome diverged"
+            );
+            assert_eq!(
+                event.stats, other.stats,
+                "{label}/parallel-{t}/q{q}: statistics digest diverged"
+            );
+            assert_eq!(
+                event.memory, other.memory,
+                "{label}/parallel-{t}/q{q}: final memory diverged"
+            );
+        }
+    }
+    event
+}
+
+/// Token-ring workload (16 nodes, id-ordered ring, 3 rounds): most nodes
+/// idle most of the time, so quiescence detection and idle crediting run
+/// constantly while the token hops across shard boundaries.
+fn ring_program() -> Program {
+    const ROUNDS: i32 = 3;
+    let mut b = Builder::new();
+    b.reserve("acc", Region::Imem, 1);
+    b.reserve("next_route", Region::Imem, 1);
+    b.label("main");
+    b.mov(R0, Special::Nid);
+    b.addi(R0, R0, 1);
+    b.alu(AluOp::Rem, R0, R0, Special::NNodes);
+    b.call(nnr::NID_TO_ROUTE);
+    b.load_seg(A0, "next_route");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.load_seg(A0, "acc");
+    b.mov(MemRef::disp(A0, 0), 0);
+    b.mov(R0, Special::Nid);
+    b.bnz(R0, "main_done");
+    b.mov(R1, Special::NNodes);
+    b.alu(AluOp::Mul, R1, R1, ROUNDS);
+    b.load_seg(A1, "next_route");
+    b.send(MsgPriority::P0, MemRef::disp(A1, 0));
+    b.send2e(MsgPriority::P0, hdr("token", 2), R1);
+    b.label("main_done");
+    b.suspend();
+    b.label("token");
+    b.mov(R1, MemRef::disp(A3, 1));
+    b.load_seg(A0, "acc");
+    b.mov(R2, MemRef::disp(A0, 0));
+    b.addi(R2, R2, 1);
+    b.mov(MemRef::disp(A0, 0), R2);
+    b.subi(R1, R1, 1);
+    b.bz(R1, "token_done");
+    b.load_seg(A1, "next_route");
+    b.send(MsgPriority::P0, MemRef::disp(A1, 0));
+    b.send2e(MsgPriority::P0, hdr("token", 2), R1);
+    b.label("token_done");
+    b.suspend();
+    b.entry("main");
+    nnr::install(&mut b);
+    b.assemble().unwrap()
+}
+
+#[test]
+fn ring_is_quantum_exact() {
+    let obs = assert_quantum_exact(
+        "ring",
+        ring_program,
+        MachineConfig::new(16).start(StartPolicy::AllNodes),
+        1_000_000,
+        |_| {},
+    );
+    assert!(obs.outcome.is_ok());
+    // Every node's accumulator saw all 3 rounds.
+    for words in &obs.memory {
+        assert_eq!(words[0].as_i32(), 3);
+    }
+}
+
+/// Ping-pong workload built to force **idle-skip fast-forward across
+/// quantum boundaries**: the dispatch cost is cranked to 50 cycles, so
+/// after each handler retires the whole machine goes net-idle with the next
+/// wake-up 50 cycles out. For every quantum under test (Q ≤ 8) the skip
+/// target lies several boundaries past the current one, exercising the
+/// decide-path that rewinds the overrun idle tick and jumps `p/x` straight
+/// to the wake cycle (DESIGN.md §4.10).
+fn pingpong_program() -> Program {
+    const VOLLEYS: i32 = 8;
+    let mut b = Builder::new();
+    b.reserve("hits", Region::Imem, 1);
+    b.reserve("peer", Region::Imem, 1);
+    b.label("main");
+    b.mov(R0, Special::Nid);
+    b.alu(AluOp::Xor, R0, R0, 1); // partner: flip the low node-id bit
+    b.call(nnr::NID_TO_ROUTE);
+    b.load_seg(A0, "peer");
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.load_seg(A0, "hits");
+    b.mov(MemRef::disp(A0, 0), 0);
+    b.mov(R0, Special::Nid);
+    b.alu(AluOp::And, R0, R0, 1);
+    b.bnz(R0, "main_done"); // odd nodes wait for the first serve
+    b.movi(R1, VOLLEYS);
+    b.load_seg(A1, "peer");
+    b.send(MsgPriority::P0, MemRef::disp(A1, 0));
+    b.send2e(MsgPriority::P0, hdr("rally", 2), R1);
+    b.label("main_done");
+    b.suspend();
+    b.label("rally");
+    b.mov(R1, MemRef::disp(A3, 1));
+    b.load_seg(A0, "hits");
+    b.mov(R2, MemRef::disp(A0, 0));
+    b.addi(R2, R2, 1);
+    b.mov(MemRef::disp(A0, 0), R2);
+    b.subi(R1, R1, 1);
+    b.bz(R1, "rally_done");
+    b.load_seg(A1, "peer");
+    b.send(MsgPriority::P0, MemRef::disp(A1, 0));
+    b.send2e(MsgPriority::P0, hdr("rally", 2), R1);
+    b.label("rally_done");
+    b.suspend();
+    b.entry("main");
+    nnr::install(&mut b);
+    b.assemble().unwrap()
+}
+
+#[test]
+fn idle_skip_across_quantum_boundary_is_exact() {
+    let mdp = MdpConfig {
+        timing: TimingConfig {
+            dispatch: 50,              // every wake-up lands ≥ 50 cycles out: skips must
+            ..TimingConfig::default()  // cross every quantum in the sweep
+        },
+        ..MdpConfig::default()
+    };
+    let obs = assert_quantum_exact(
+        "idle-skip",
+        pingpong_program,
+        MachineConfig::new(16).start(StartPolicy::AllNodes).mdp(mdp),
+        1_000_000,
+        |_| {},
+    );
+    assert!(obs.outcome.is_ok());
+    // The rallies completed (8 volleys split across each pair), and the
+    // run was long enough that skips of 50 cycles had to cross quantum
+    // boundaries for every Q ≤ 8.
+    let total_hits: i32 = obs.memory.iter().map(|w| w[0].as_i32()).sum();
+    assert_eq!(total_hits, 8 * 8);
+    assert!(
+        obs.outcome.as_ref().unwrap() > &400,
+        "workload too short to force boundary-crossing skips: {:?}",
+        obs.outcome
+    );
+}
+
+#[test]
+fn chaos_fault_plan_is_quantum_exact() {
+    // The fault-injection chaos matrix, swept over quanta: flaky links
+    // (10% per-flit stall probability), checksummed retries, and a hard
+    // link-down window early in the run. Fault draws are keyed by cycle
+    // and position (DESIGN.md §4.8), so any boundary-placement bug that
+    // shifted a single flit by one cycle would change the draw sequence
+    // and diverge loudly.
+    let spec = || {
+        FaultSpec::new(4242)
+            .flaky(100_000)
+            .checksums(true)
+            .window(FaultWindow::link_down(0, 0, 100, 600))
+    };
+    let program = || reliable::demo_program(3, 7);
+    let obs = assert_quantum_exact(
+        "chaos",
+        program,
+        MachineConfig::new(8).fault(spec()),
+        1_000_000,
+        |_| {},
+    );
+    assert!(obs.outcome.is_ok(), "{:?}", obs.outcome);
+}
+
+#[test]
+fn fixed_cycle_stop_is_quantum_exact() {
+    // `run(n)` exercises the fixed-deadline mode, where the final quantum
+    // is truncated (deadline not a multiple of Q): every combination must
+    // stop at exactly the same cycle with the same statistics snapshot.
+    // 1_499 is deliberately coprime with every quantum in the sweep.
+    let config = MachineConfig::new(16).start(StartPolicy::AllNodes);
+    let mut baseline: Option<MachineStats> = None;
+    let mut run_fixed = |cfg: MachineConfig, label: String| {
+        let mut m = JMachine::new(ring_program(), cfg);
+        m.run(1_499);
+        assert_eq!(m.cycle(), 1_499, "{label}: wrong stop cycle");
+        let stats = m.stats();
+        match &baseline {
+            None => baseline = Some(stats),
+            Some(base) => assert_eq!(base, &stats, "fixed run: {label} diverged"),
+        }
+    };
+    run_fixed(config.engine(Engine::Event), "event".into());
+    for &t in &THREADS {
+        for &q in &QUANTA {
+            run_fixed(
+                config.engine(Engine::Parallel(t)).quantum(q),
+                format!("parallel-{t}/q{q}"),
+            );
+        }
+    }
+}
