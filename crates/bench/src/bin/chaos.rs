@@ -48,6 +48,11 @@ fn parse_engine(s: &str) -> Engine {
 }
 
 fn main() {
+    // When CI sets JM_REPLAY_CAPTURE, every machine in the run records a
+    // replay log so a failure ships a reproducer artifact (DESIGN.md §4.11).
+    if jm_machine::capture_replay_from_env() {
+        println!("chaos: replay capture armed (JM_REPLAY_CAPTURE)");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let arg = |name: &str| {
         args.iter()

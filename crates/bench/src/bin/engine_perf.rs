@@ -217,6 +217,32 @@ fn main() {
     let exch_naive = run_fixed(exch_program.clone(), exch_nodes, Engine::Naive, exch_cycles);
     let exch_event = run_fixed(exch_program, exch_nodes, Engine::Event, exch_cycles);
 
+    // Same workload with replay capture armed: the recording hook is a
+    // single pointer test per host op plus one state hash per checkpoint
+    // interval, so the captured run must stay within 10% of the
+    // uncaptured event run (bench_gate enforces a 0.90 floor on the
+    // "speedup" ratio below).
+    let exch_captured = {
+        let mut m = JMachine::new(
+            jm_bench::micro::load::debug_program(4, 20),
+            MachineConfig::new(exch_nodes)
+                .start(StartPolicy::AllNodes)
+                .engine(Engine::Event),
+        );
+        m.record_replay(jm_replay::DEFAULT_INTERVAL);
+        let (wall, ()) = time_once(|| m.run(exch_cycles));
+        let log = m.finish_replay().expect("recording was armed");
+        assert_eq!(
+            log.end_cycle(),
+            exch_cycles,
+            "capture must not change the run length"
+        );
+        Measurement {
+            wall_secs: wall.as_secs_f64(),
+            cycles: exch_cycles,
+        }
+    };
+
     // Recorded at the top level so artifact readers can tell a 1-CPU
     // runner's numbers from a real multi-core host without digging into
     // the threads section (which only exists under --threads).
@@ -241,6 +267,26 @@ fn main() {
         "exchange64_load_dominated",
         &exch_naive,
         &exch_event,
+    );
+    // The replay-capture row reuses the workload schema with
+    // "uncaptured"/"captured" in place of "naive"/"event"; the gate's
+    // parser keys on "name"/"cycles_per_sec"/"speedup" only, and the
+    // "speedup" here is the capture-on/capture-off throughput ratio.
+    let capture_ratio = exch_captured.cycles_per_sec() / exch_event.cycles_per_sec();
+    let _ = writeln!(
+        out,
+        "    {{\n      \"name\": \"exchange64_replay_capture\",\n      \"cycles\": {},\n      \"uncaptured\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n      \"captured\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n      \"speedup\": {:.2}\n    }},",
+        exch_captured.cycles,
+        exch_event.wall_secs,
+        exch_event.cycles_per_sec(),
+        exch_captured.wall_secs,
+        exch_captured.cycles_per_sec(),
+        capture_ratio,
+    );
+    println!(
+        "exchange64_replay_capture uncaptured {:>10.0} cyc/s   captured {:>10.0} cyc/s   ratio {capture_ratio:.2}x",
+        exch_event.cycles_per_sec(),
+        exch_captured.cycles_per_sec(),
     );
     // Strip the trailing comma to keep the JSON valid.
     let trimmed = out.trim_end_matches(",\n").to_string();

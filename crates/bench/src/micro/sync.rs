@@ -166,10 +166,8 @@ pub fn measure() -> Result<SyncCosts, MachineError> {
     // Phase A: the six short sequences.
     let p = sequences_program();
     let results = p.segment("t2_r");
-    let cfut = p.handler("t2_cfut");
     let mut m = JMachine::new(p, MachineConfig::new(1).start(StartPolicy::AllNodes));
-    m.node_mut(NodeId(0))
-        .install_vector(FaultKind::CFutRead, cfut);
+    m.install_vector(NodeId(0), FaultKind::CFutRead, "t2_cfut");
     m.run_until_quiescent(100_000)?;
     let r = |i: u32| m.read_word(NodeId(0), results.base + i).as_i32() as u64;
 

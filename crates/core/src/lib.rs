@@ -41,10 +41,15 @@
 mod config;
 mod machine;
 mod parallel;
+mod replay;
 mod stats;
 
 pub use config::{Engine, MachineConfig, SchedMode, StartPolicy, TraceConfig, TraceFallback};
 pub use jm_fault::{FaultSpec, FaultStats, FaultWindow, FaultWindowKind};
 pub use jm_trace::{MachineTrace, MsgTrace, SamplePoint};
 pub use machine::{parallel_trace_fallbacks, JMachine, MachineError};
+pub use replay::{
+    capture_replay, capture_replay_from_env, recorded_machine_config, Corruption, MachineFactory,
+    MachineReplayer,
+};
 pub use stats::MachineStats;

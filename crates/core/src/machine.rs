@@ -310,6 +310,10 @@ pub struct JMachine {
     scheds: Vec<EventSched>,
     /// Periodic occupancy samples (tracing only).
     samples: Vec<SamplePoint>,
+    /// Replay recorder: `Some` while this machine is capturing a replay log
+    /// (see [`crate::replay`]). `None` on the hot path — every hook below
+    /// is a single pointer test.
+    pub(crate) recorder: Option<crate::replay::Recorder>,
 }
 
 impl fmt::Debug for JMachine {
@@ -437,6 +441,7 @@ impl JMachine {
             cycle: 0,
             scheds,
             samples: Vec::new(),
+            recorder: crate::replay::Recorder::from_capture(),
         })
     }
 
@@ -491,9 +496,31 @@ impl JMachine {
     /// Panics if the label is not a code symbol.
     pub fn install_vector_all(&mut self, kind: FaultKind, handler: &str) {
         let ip = self.program.handler(handler);
+        self.record_op(jm_replay::HostOp::InstallVectorAll {
+            kind: kind.vector() as u8,
+            ip,
+        });
         for node in &mut self.nodes {
             node.install_vector(kind, ip);
         }
+    }
+
+    /// Installs a fault vector on one node, resolving `handler` through the
+    /// program's symbol table. The machine-level twin of
+    /// [`MdpNode::install_vector`]; host harnesses should prefer this form —
+    /// it is captured in replay logs, where direct node pokes are invisible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not a code symbol or `node` is out of range.
+    pub fn install_vector(&mut self, node: NodeId, kind: FaultKind, handler: &str) {
+        let ip = self.program.handler(handler);
+        self.record_op(jm_replay::HostOp::InstallVector {
+            node: node.0,
+            kind: kind.vector() as u8,
+            ip,
+        });
+        self.nodes[node.index()].install_vector(kind, ip);
     }
 
     /// Host interface: delivers a message directly into a node's queue
@@ -511,30 +538,35 @@ impl JMachine {
     ) {
         let ip = self.program.handler(handler);
         let header = MsgHeader::new(ip, args.len() as u32 + 1).to_word();
-        let cycle = self.cycle;
         // In checksum mode host messages carry the trailer too — the node
         // validates every dispatch, however the message arrived.
-        let trailer = self.config.mdp.checksum_msgs.then(|| {
-            let mut words = Vec::with_capacity(args.len() + 1);
-            words.push(header);
-            words.extend_from_slice(args);
-            checksum_words(&words)
-        });
+        let mut words = Vec::with_capacity(args.len() + 2);
+        words.push(header);
+        words.extend_from_slice(args);
+        if self.config.mdp.checksum_msgs {
+            words.push(checksum_words(&words));
+        }
+        if self.recorder.is_some() {
+            self.record_op(jm_replay::HostOp::Deliver {
+                node: node.0,
+                priority: priority.index() as u8,
+                words: words.clone(),
+            });
+        }
+        self.deliver_words(node, priority, &words);
+    }
+
+    /// Streams pre-built message words into a node's queue — the shared
+    /// tail of [`Self::deliver_message`] and of replay application (the log
+    /// stores the delivered words, header and trailer included, so replay
+    /// does not re-resolve symbols or recompute checksums).
+    pub(crate) fn deliver_words(&mut self, node: NodeId, priority: MsgPriority, words: &[Word]) {
+        let cycle = self.cycle;
         let target = &mut self.nodes[node.index()];
         // Host deliveries bypass the network and carry no trace id.
-        assert!(
-            target.deliver_traced(priority, header, TraceId::NONE, cycle),
-            "host delivery overflow"
-        );
-        for &w in args {
+        for &w in words {
             assert!(
                 target.deliver_traced(priority, w, TraceId::NONE, cycle),
-                "host delivery overflow"
-            );
-        }
-        if let Some(t) = trailer {
-            assert!(
-                target.deliver_traced(priority, t, TraceId::NONE, cycle),
                 "host delivery overflow"
             );
         }
@@ -552,6 +584,11 @@ impl JMachine {
 
     /// Host interface: writes a word of node memory.
     pub fn write_word(&mut self, node: NodeId, addr: u32, word: Word) {
+        self.record_op(jm_replay::HostOp::WriteWord {
+            node: node.0,
+            addr,
+            word,
+        });
         self.nodes[node.index()].write_mem(addr, word);
     }
 
@@ -729,6 +766,16 @@ impl JMachine {
 
     /// Runs for a fixed number of cycles.
     pub fn run(&mut self, cycles: u64) {
+        if self.recorder.is_some() {
+            self.run_recorded(cycles);
+            return;
+        }
+        self.run_inner(cycles);
+    }
+
+    /// [`Self::run`] without the replay-capture chunking (the recorded path
+    /// calls this between hash boundaries).
+    pub(crate) fn run_inner(&mut self, cycles: u64) {
         if self.threaded() && cycles > 0 && !self.config.trace.enabled {
             let deadline = self.cycle.saturating_add(cycles);
             self.drive_parallel(crate::parallel::Mode::Fixed { deadline });
@@ -790,6 +837,17 @@ impl JMachine {
     /// [`MachineError::StrandedMessages`] if the machine quiesced with
     /// words still queued at halted/errored nodes.
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> Result<u64, MachineError> {
+        if self.recorder.is_some() {
+            return self.run_until_quiescent_recorded(max_cycles);
+        }
+        self.run_until_quiescent_inner(max_cycles)
+    }
+
+    /// [`Self::run_until_quiescent`] without the replay-capture chunking.
+    pub(crate) fn run_until_quiescent_inner(
+        &mut self,
+        max_cycles: u64,
+    ) -> Result<u64, MachineError> {
         let start = self.cycle;
         let deadline = start.saturating_add(max_cycles);
         loop {
@@ -879,6 +937,56 @@ impl JMachine {
             std::mem::take(&mut self.samples),
             self.node_count(),
         ))
+    }
+
+    /// Combined state hash at the current cycle: an in-order FNV-1a fold of
+    /// exactly the hashes [`Self::component_hashes`] reports, over every
+    /// piece of simulated state the engines are required to agree on (node
+    /// registers, queues, memory, control state; per-router channel
+    /// occupancy). Engine bookkeeping — schedulers, statistics, traces,
+    /// scan modes — is excluded by construction, so equal machine states
+    /// hash equal under *any* engine, thread count, quantum, or scheduler
+    /// mode. Takes `&mut self` because in-flight bulk wormhole transfers
+    /// are first materialized to their exact buffered equivalent (a
+    /// semantically invisible canonicalization; see `jm-net`).
+    pub fn state_hash(&mut self) -> u64 {
+        let at = self.cycle;
+        let mut h = jm_trace::Fnv1a::new();
+        for node in &self.nodes {
+            for (_, hash) in node.state_components(at) {
+                h.write_u64(hash);
+            }
+        }
+        self.net.fold_components(|_, _, hash| h.write_u64(hash));
+        h.finish()
+    }
+
+    /// Per-component state hashes at the current cycle, in the fixed order
+    /// whose fold equals [`Self::state_hash`]: for each node (ascending
+    /// id) its `regs`/`queues`/`mem`/`ctl` parts, then for each router
+    /// (ascending id) its two virtual networks' channel occupancy. Labels
+    /// are stable, human-readable component names — divergence reports
+    /// print them verbatim.
+    pub fn component_hashes(&mut self) -> Vec<jm_replay::ComponentHash> {
+        let at = self.cycle;
+        let dims = self.config.dims;
+        let mut out = Vec::with_capacity(self.nodes.len() * 6);
+        for node in &self.nodes {
+            for (part, hash) in node.state_components(at) {
+                out.push(jm_replay::ComponentHash {
+                    label: format!("node {} {part}", node.id().0),
+                    hash,
+                });
+            }
+        }
+        self.net.fold_components(|id, vnet, hash| {
+            let c = dims.coord(id);
+            out.push(jm_replay::ComponentHash {
+                label: format!("router ({},{},{}) vnet{vnet} occupancy", c.x, c.y, c.z),
+                hash,
+            });
+        });
+        out
     }
 }
 

@@ -153,6 +153,28 @@ impl Encoded {
         }
         out
     }
+
+    /// Reassembles an encoded instruction from its raw 17-bit slot values
+    /// (the inverse of [`Encoded::slot_values`]). The reconstructed bit
+    /// stream is slot-aligned — possibly longer than the original encoding
+    /// by up to 16 zero bits of tail padding — which [`decode`] tolerates
+    /// (it reads exactly the bits the opcode demands and ignores the tail),
+    /// so `decode(&Encoded::from_slots(&e.slot_values()))` round-trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot value exceeds 17 bits.
+    pub fn from_slots(slots: &[u32]) -> Encoded {
+        let mut w = BitWriter::default();
+        for &s in slots {
+            assert!(s < (1 << SLOT_BITS), "slot value exceeds {SLOT_BITS} bits");
+            w.put(SLOT_BITS, u64::from(s));
+        }
+        Encoded {
+            limbs: w.limbs,
+            bits: w.len,
+        }
+    }
 }
 
 // Opcode numbers. Stable: the assembler's image format depends on them.
@@ -542,6 +564,9 @@ mod tests {
         assert_eq!(decode(&e).unwrap(), i, "round trip failed for {i}");
         assert!(e.slots() >= 1);
         assert_eq!(e.slot_values().len(), e.slots());
+        // Slot-value round trip (the replay log stores instructions this way).
+        let rebuilt = Encoded::from_slots(&e.slot_values());
+        assert_eq!(decode(&rebuilt).unwrap(), i, "slot round trip for {i}");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 mod config;
 mod exec;
+mod hash;
 mod memory;
 mod node;
 mod queue;

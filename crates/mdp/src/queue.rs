@@ -123,6 +123,20 @@ impl MsgQueue {
         }
     }
 
+    /// Folds the architecturally visible queue state into a replay digest:
+    /// the head ring slot (visible to programs through the `A3` queue
+    /// descriptor), the occupancy, and the buffered words in arrival order.
+    /// The high-water mark and refusal counter are statistics and are
+    /// excluded.
+    pub fn fold_state(&self, h: &mut jm_trace::Fnv1a) {
+        h.write_u32(self.head as u32);
+        h.write_u32(self.len as u32);
+        for offset in 0..self.len {
+            let w = self.buf[(self.head + offset) % self.buf.len()];
+            crate::hash::fold_word(h, w);
+        }
+    }
+
     /// Removes the head message (`words` long, as given by its header).
     ///
     /// # Panics

@@ -79,6 +79,28 @@ impl XlateCache {
         self.map.get(&key_of(key)).copied()
     }
 
+    /// Folds the cache state into a replay digest. The FIFO `order` deque —
+    /// including entries gone stale through replacement or `purge`, whose
+    /// presence still determines future evictions — is itself fully
+    /// deterministic, so folding it in order (with each key's current
+    /// binding) captures the live map without touching `HashMap` iteration
+    /// order.
+    pub fn fold_state(&self, h: &mut jm_trace::Fnv1a) {
+        h.write_u32(self.map.len() as u32);
+        for &(tag, bits) in &self.order {
+            h.write_u8(tag);
+            h.write_u32(bits);
+            match self.map.get(&(tag, bits)) {
+                Some(v) => {
+                    h.write_u8(1);
+                    h.write_u8(v.tag().bits());
+                    h.write_u32(v.bits());
+                }
+                None => h.write_u8(0),
+            }
+        }
+    }
+
     /// Removes a binding, returning the previous value.
     pub fn purge(&mut self, key: Word) -> Option<Word> {
         self.map.remove(&key_of(key))

@@ -208,6 +208,45 @@ impl ChannelArena {
         capacity.saturating_sub(occupied)
     }
 
+    /// Folds the replay-visible state of every queue of `(router, vnet)`:
+    /// per port, the occupancy, the buffered flits in logical FIFO order
+    /// (destination, framing flags, payload, inject and ready cycles), and
+    /// the output-port owner. Physical ring head positions and the
+    /// `popped_at` credit timestamps are excluded — at a cycle boundary the
+    /// logical queue contents fully determine future behavior (a
+    /// `popped_at` stamp can only equal a cycle already finished).
+    pub(crate) fn fold_state(&self, l: usize, vnet: usize, h: &mut jm_trace::Fnv1a) {
+        for port in 0..PORTS {
+            let qi = Self::qi(l, vnet, port);
+            let len = self.len[qi] as usize;
+            h.write_u8(len as u8);
+            let cap = self.cap(port);
+            let base = self.ring_base(l, vnet, port);
+            for k in 0..len {
+                let mut slot = self.head[qi] as usize + k;
+                if slot >= cap {
+                    slot -= cap;
+                }
+                let f = &self.flits[base + slot];
+                h.write_u8(f.dest.x);
+                h.write_u8(f.dest.y);
+                h.write_u8(f.dest.z);
+                h.write_u8(u8::from(f.head()) | (u8::from(f.tail()) << 1));
+                match f.payload() {
+                    Some(w) => {
+                        h.write_u8(1);
+                        h.write_u8(w.tag().bits());
+                        h.write_u32(w.bits());
+                    }
+                    None => h.write_u8(0),
+                }
+                h.write_u64(f.inject_cycle);
+                h.write_u64(f.ready_cycle);
+            }
+            h.write_u8(self.owners[qi] as u8);
+        }
+    }
+
     /// The input port owning `(router, vnet, out port)`, or `-1`.
     #[inline]
     pub(crate) fn owner(&self, l: usize, vnet: usize, out: usize) -> i8 {

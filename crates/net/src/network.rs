@@ -276,6 +276,18 @@ impl Network {
         }
     }
 
+    /// Calls `f` with a replay occupancy digest for every `(node, vnet)`
+    /// pair, in ascending (node id, vnet) order — the network's component
+    /// hashes for the replay log's divergence reports. Takes `&mut self`
+    /// because a wormhole bulk-advance message must be materialized into
+    /// its exact buffered equivalent before hashing (semantically
+    /// invisible; see [`crate::shard`]).
+    pub fn fold_components(&mut self, mut f: impl FnMut(NodeId, usize, u64)) {
+        for shard in &mut self.shards {
+            shard.fold_components(&mut f);
+        }
+    }
+
     /// Runs until idle or `max_cycles` is reached; returns `true` if the
     /// network drained.
     pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {

@@ -1262,6 +1262,51 @@ impl NetShard {
     pub(crate) fn take_trace_events(&mut self) -> Vec<Event> {
         self.tracer.as_mut().map(|t| t.take()).unwrap_or_default()
     }
+
+    /// Calls `f` with a per-`(global node, vnet)` occupancy digest for every
+    /// router in the shard, in ascending (node, vnet) order.
+    ///
+    /// Takes `&mut self` because a message on the wormhole bulk fast path
+    /// must first be [materialized](Self::materialize_bulk) into the exact
+    /// buffered state it stands for — the digest canonicalizes on the
+    /// buffered representation, and materialization is semantically
+    /// invisible by construction.
+    ///
+    /// The digest covers the channel-arena queues plus the router's
+    /// interface state: the ejected-word FIFO and the injection framing.
+    /// Trace ids, the `eject_cur` trace cursor, and statistics are excluded
+    /// (observability state); `eject_hdr_seen` is included (it steers fault
+    /// corruption). The stale `msg_start` of a closed injection stream is
+    /// masked by folding it only while a message is open.
+    pub(crate) fn fold_components(&mut self, f: &mut dyn FnMut(NodeId, usize, u64)) {
+        if self.bulk.is_some() {
+            self.materialize_bulk();
+        }
+        for l in 0..self.routers.len() {
+            for vnet in 0..2 {
+                let mut h = jm_trace::Fnv1a::new();
+                self.arena.fold_state(l, vnet, &mut h);
+                let router = &self.routers[l];
+                h.write_u32(router.ejected[vnet].len() as u32);
+                for &(w, _) in &router.ejected[vnet] {
+                    h.write_u8(w.tag().bits());
+                    h.write_u32(w.bits());
+                }
+                match router.inject[vnet].dest {
+                    Some(dest) => {
+                        h.write_u8(1);
+                        h.write_u8(dest.x);
+                        h.write_u8(dest.y);
+                        h.write_u8(dest.z);
+                        h.write_u64(router.inject[vnet].msg_start);
+                    }
+                    None => h.write_u8(0),
+                }
+                h.write_u8(u8::from(router.eject_hdr_seen[vnet]));
+                f(NodeId((self.base + l) as u32), vnet, h.finish());
+            }
+        }
+    }
 }
 
 /// The `(below, above)` edges of shard `k`, given the edge list in which

@@ -35,5 +35,5 @@ pub use chrome::chrome_json;
 pub use event::{Event, EventKind, FaultEvent, Tracer};
 pub use histogram::{Histogram, BUCKETS};
 pub use jm_isa::TraceId;
-pub use summary::{fnv1a, hash, summary_json};
+pub use summary::{fnv1a, hash, summary_json, Fnv1a};
 pub use trace::{Breakdown, MachineTrace, MsgTrace, SamplePoint};

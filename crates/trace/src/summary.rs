@@ -25,6 +25,65 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Streaming FNV-1a fold: the incremental counterpart of [`fnv1a`].
+///
+/// Because FNV-1a consumes its input strictly left to right, a fold over a
+/// concatenation equals a fold over the first part continued over the
+/// second — `Fnv1a::with_seed(fold(A)).chain(B) == fold(A ++ B)`. The
+/// replay layer's interval digests rely on exactly that composition
+/// property, and the state-hash hooks in `jm-mdp`/`jm-net` use the
+/// integer-push methods to fold component state without allocating.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fold starting from the FNV offset basis (equivalent to `fnv1a`
+    /// of the empty string).
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Continues a fold from a previously-finished digest.
+    pub fn with_seed(seed: u64) -> Fnv1a {
+        Fnv1a(seed)
+    }
+
+    /// Folds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.0 ^= u64::from(v);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// A deterministic 64-bit digest of the whole trace: every event's cycle,
 /// kind, and fields, plus every sample point, folded through FNV-1a. The
 /// trace's canonical sort order makes the hash independent of component
@@ -198,6 +257,22 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_fold_matches_and_composes() {
+        let mut s = Fnv1a::new();
+        s.write(b"foobar");
+        assert_eq!(s.finish(), fnv1a(b"foobar"));
+        // Composition: fold(A ++ B) == continue(fold(A), B), at any split.
+        let bytes = b"the quick brown fox";
+        for split in 0..bytes.len() {
+            let mut whole = Fnv1a::new();
+            whole.write(bytes);
+            let mut resumed = Fnv1a::with_seed(fnv1a(&bytes[..split]));
+            resumed.write(&bytes[split..]);
+            assert_eq!(whole.finish(), resumed.finish(), "split at {split}");
+        }
     }
 
     #[test]

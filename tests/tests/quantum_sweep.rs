@@ -57,6 +57,10 @@ fn observe(
     max_cycles: u64,
     setup: impl Fn(&mut JMachine),
 ) -> Observation {
+    // Behind a flag: when JM_REPLAY_CAPTURE is set, every swept machine
+    // records a replay event log (DESIGN.md §4.11), so a divergence here
+    // leaves a bisectable reproducer behind.
+    jm_machine::capture_replay_from_env();
     let mut m = JMachine::new(program, config);
     setup(&mut m);
     let outcome = m
