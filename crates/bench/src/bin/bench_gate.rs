@@ -18,6 +18,15 @@
 //! runs on shared runners jitter by a few percent, so the enforced wall is
 //! `MIN * (1 - floor-margin)` (margin default 0.10); the nominal floor is
 //! what the log reports against.
+//!
+//! `--traffic PATH [--traffic-baseline PATH]` extends the gate to
+//! `BENCH_traffic.json`: every saturation curve is re-checked for shape
+//! (message conservation, weak monotonicity below the knee, bounded
+//! degradation past it — the same rules `traffic_sweep` enforces at
+//! generation time, so a hand-edited baseline cannot sneak past CI), and
+//! with a baseline each pattern's knee throughput is ratcheted. Floors
+//! named `traffic:<pattern>` pin absolute knee-throughput walls
+//! (flits/node/cycle) through the same `--floor` machinery.
 
 use std::process::ExitCode;
 
@@ -134,6 +143,141 @@ fn parse_threads(doc: &str) -> Vec<ThreadRow> {
     out
 }
 
+/// One load point pulled from a `BENCH_traffic.json` curve.
+#[derive(Debug, Clone, PartialEq)]
+struct TrafficRow {
+    load_ppm: f64,
+    offered: f64,
+    accepted: f64,
+    dropped: f64,
+    throughput: f64,
+}
+
+impl TrafficRow {
+    fn accept_ratio(&self) -> f64 {
+        if self.offered == 0.0 {
+            1.0
+        } else {
+            self.accepted / self.offered
+        }
+    }
+}
+
+/// One pattern's saturation curve pulled from `BENCH_traffic.json`.
+#[derive(Debug, Clone, PartialEq)]
+struct TrafficCurve {
+    pattern: String,
+    knee_ppm: f64,
+    knee_throughput: f64,
+    points: Vec<TrafficRow>,
+}
+
+/// Parses the `"pattern"`-keyed curves of a `BENCH_traffic.json` document
+/// (a key the workload and thread parsers never look for, and vice versa).
+fn parse_traffic(doc: &str) -> Vec<TrafficCurve> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some((pattern, next)) = string_field(doc, "pattern", at) {
+        at = next;
+        let Some((knee_ppm, next)) = number_field(doc, "knee_ppm", at) else {
+            break;
+        };
+        at = next;
+        let Some((knee_throughput, next)) = number_field(doc, "knee_throughput", at) else {
+            break;
+        };
+        at = next;
+        // Points belong to this curve only up to the next "pattern" key.
+        let section_end = doc[at..].find("\"pattern\"").map_or(doc.len(), |p| p + at);
+        let section = &doc[at..section_end];
+        let mut points = Vec::new();
+        let mut sat = 0;
+        while let Some((load_ppm, next)) = number_field(section, "load_ppm", sat) {
+            sat = next;
+            let fields = (
+                number_field(section, "offered_msgs", sat),
+                number_field(section, "accepted_msgs", sat),
+                number_field(section, "dropped_msgs", sat),
+                number_field(section, "throughput", sat),
+            );
+            let (
+                Some((offered, _)),
+                Some((accepted, _)),
+                Some((dropped, _)),
+                Some((throughput, t)),
+            ) = fields
+            else {
+                break;
+            };
+            sat = t;
+            points.push(TrafficRow {
+                load_ppm,
+                offered,
+                accepted,
+                dropped,
+                throughput,
+            });
+        }
+        out.push(TrafficCurve {
+            pattern,
+            knee_ppm,
+            knee_throughput,
+            points,
+        });
+    }
+    out
+}
+
+/// Re-checks one curve's shape with the generation-time rules of
+/// `jm_bench::traffic`. Returns every violation found.
+fn check_traffic_curve(curve: &TrafficCurve) -> Vec<String> {
+    use jm_bench::traffic::{COLLAPSE_FLOOR, KNEE_ACCEPT_RATIO, POST_SAT_SLACK, SLACK};
+    let label = &curve.pattern;
+    let mut bad = Vec::new();
+    if curve.points.is_empty() {
+        bad.push(format!("{label}: curve has no points"));
+    }
+    for p in &curve.points {
+        if p.offered != p.accepted + p.dropped {
+            bad.push(format!(
+                "{label}: offered {} != accepted {} + dropped {} at {} ppm",
+                p.offered, p.accepted, p.dropped, p.load_ppm
+            ));
+        }
+    }
+    let mut peak = 0.0_f64;
+    for pair in curve.points.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        if hi.offered < lo.offered {
+            bad.push(format!(
+                "{label}: offered load fell with the ladder at {} ppm",
+                hi.load_ppm
+            ));
+        }
+        let slack = if lo.accept_ratio() >= KNEE_ACCEPT_RATIO {
+            SLACK
+        } else {
+            POST_SAT_SLACK
+        };
+        if hi.throughput < lo.throughput * (1.0 - slack) {
+            bad.push(format!(
+                "{label}: accepted throughput fell: {:.4} f/n/c at {} ppm vs {:.4} at {} ppm",
+                hi.throughput, hi.load_ppm, lo.throughput, lo.load_ppm
+            ));
+        }
+    }
+    for p in &curve.points {
+        if p.accept_ratio() < KNEE_ACCEPT_RATIO && p.throughput < peak * COLLAPSE_FLOOR {
+            bad.push(format!(
+                "{label}: post-saturation throughput collapsed: {:.4} f/n/c at {} ppm vs peak {peak:.4}",
+                p.throughput, p.load_ppm
+            ));
+        }
+        peak = peak.max(p.throughput);
+    }
+    bad
+}
+
 fn arg(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -233,7 +377,10 @@ fn main() -> ExitCode {
         );
         failed |= !ok;
     }
-    for (name, min) in &floors(&args) {
+    for (name, min) in floors(&args)
+        .iter()
+        .filter(|(n, _)| !n.starts_with("traffic:"))
+    {
         let Some(cur) = current.iter().find(|w| &w.name == name) else {
             eprintln!("[FAIL] {name}: floor named a workload missing from {current_path}");
             failed = true;
@@ -250,6 +397,73 @@ fn main() -> ExitCode {
             wall,
         );
         failed |= !ok;
+    }
+    // Traffic saturation-curve gate: shape re-check, optional knee
+    // ratchet against a committed baseline, and absolute knee floors.
+    if let Some(traffic_path) = arg(&args, "--traffic") {
+        let traffic_doc = std::fs::read_to_string(&traffic_path).expect("read traffic current");
+        let curves = parse_traffic(&traffic_doc);
+        assert!(!curves.is_empty(), "no curves in {traffic_path}");
+        for curve in &curves {
+            let bad = check_traffic_curve(curve);
+            println!(
+                "[{}] traffic/{:<20} shape (knee {} ppm, {:.4} f/n/c)",
+                if bad.is_empty() { "ok" } else { "FAIL" },
+                curve.pattern,
+                curve.knee_ppm,
+                curve.knee_throughput,
+            );
+            for v in &bad {
+                eprintln!("       {v}");
+            }
+            failed |= !bad.is_empty();
+        }
+        if let Some(base_path) = arg(&args, "--traffic-baseline") {
+            let base_doc = std::fs::read_to_string(&base_path).expect("read traffic baseline");
+            for base in &parse_traffic(&base_doc) {
+                let Some(cur) = curves.iter().find(|c| c.pattern == base.pattern) else {
+                    eprintln!(
+                        "[FAIL] traffic/{}: missing from {traffic_path}",
+                        base.pattern
+                    );
+                    failed = true;
+                    continue;
+                };
+                let floor = base.knee_throughput * (1.0 - tolerance);
+                let ok = cur.knee_throughput >= floor;
+                println!(
+                    "[{}] traffic/{:<20} knee {:.4} f/n/c (baseline {:.4}, floor {:.4})",
+                    if ok { "ok" } else { "FAIL" },
+                    cur.pattern,
+                    cur.knee_throughput,
+                    base.knee_throughput,
+                    floor,
+                );
+                failed |= !ok;
+            }
+        }
+        for (name, min) in floors(&args)
+            .iter()
+            .filter(|(n, _)| n.starts_with("traffic:"))
+        {
+            let pattern = &name["traffic:".len()..];
+            let Some(cur) = curves.iter().find(|c| c.pattern == pattern) else {
+                eprintln!("[FAIL] {name}: floor named a pattern missing from {traffic_path}");
+                failed = true;
+                continue;
+            };
+            let wall = min * (1.0 - floor_margin);
+            let ok = cur.knee_throughput >= wall;
+            println!(
+                "[{}] traffic/{:<20} knee {:.4} f/n/c vs absolute floor {:.4} (enforced at {:.4})",
+                if ok { "ok" } else { "FAIL" },
+                cur.pattern,
+                cur.knee_throughput,
+                min,
+                wall,
+            );
+            failed |= !ok;
+        }
     }
     if failed {
         eprintln!(
@@ -335,6 +549,73 @@ mod tests {
         let rows = parse_threads(doc);
         assert_eq!(rows.len(), 1);
         assert!(rows[0].oversubscribed);
+    }
+
+    const TRAFFIC_DOC: &str = r#"{
+  "seed": 7,
+  "curves": [
+    {"pattern": "uniform_random",
+     "knee_ppm": 300000,
+     "knee_throughput": 0.302200,
+     "points": [
+       {"load_ppm": 50000, "offered_msgs": 1579, "accepted_msgs": 1579, "dropped_msgs": 0, "delivered_msgs": 1579, "throughput": 0.049300, "latency_mean": 10.8, "latency_p50": 15, "latency_p99": 31, "latency_max": 35, "latency_count": 1579},
+       {"load_ppm": 900000, "offered_msgs": 28894, "accepted_msgs": 14442, "dropped_msgs": 14452, "delivered_msgs": 14442, "throughput": 0.451300, "latency_mean": 148.0, "latency_p50": 127, "latency_p99": 511, "latency_max": 790, "latency_count": 14442}
+     ]},
+    {"pattern": "hotspot",
+     "knee_ppm": 50000,
+     "knee_throughput": 0.049200,
+     "points": [
+       {"load_ppm": 50000, "offered_msgs": 1579, "accepted_msgs": 1575, "dropped_msgs": 4, "delivered_msgs": 1575, "throughput": 0.049200, "latency_mean": 502.4, "latency_p50": 255, "latency_p99": 4095, "latency_max": 4582, "latency_count": 1575}
+     ]}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_traffic_curves_with_points_bounded_per_curve() {
+        let curves = parse_traffic(TRAFFIC_DOC);
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].pattern, "uniform_random");
+        assert_eq!(curves[0].knee_ppm, 300_000.0);
+        assert_eq!(curves[0].points.len(), 2);
+        assert_eq!(curves[0].points[1].dropped, 14_452.0);
+        assert_eq!(curves[1].pattern, "hotspot");
+        assert_eq!(curves[1].points.len(), 1);
+        // The other parsers must not trip over the traffic document.
+        assert!(parse(TRAFFIC_DOC).is_empty());
+        assert!(parse_threads(TRAFFIC_DOC).is_empty());
+        // Shape rules hold on the real-sweep excerpt.
+        for curve in &curves {
+            assert!(check_traffic_curve(curve).is_empty(), "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn traffic_shape_check_flags_violations() {
+        let falling = TrafficCurve {
+            pattern: "transpose".into(),
+            knee_ppm: 100_000.0,
+            knee_throughput: 0.1,
+            points: vec![
+                TrafficRow {
+                    load_ppm: 50_000.0,
+                    offered: 1000.0,
+                    accepted: 1000.0,
+                    dropped: 0.0,
+                    throughput: 0.10,
+                },
+                TrafficRow {
+                    load_ppm: 100_000.0,
+                    offered: 2000.0,
+                    accepted: 900.0,
+                    dropped: 1000.0, // 900 + 1000 != 2000: conservation too
+                    throughput: 0.05,
+                },
+            ],
+        };
+        let bad = check_traffic_curve(&falling);
+        assert!(bad.iter().any(|v| v.contains("throughput fell")), "{bad:?}");
+        assert!(bad.iter().any(|v| v.contains("offered")), "{bad:?}");
     }
 
     #[test]

@@ -35,26 +35,6 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Peak resident set size of this process in MiB (0 when unavailable —
-/// `/proc` is Linux-only).
-fn peak_rss_mib() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kib: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kib / 1024;
-        }
-    }
-    0
-}
-
 fn arg(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -104,7 +84,7 @@ fn main() -> ExitCode {
         );
         lines.push((label, digest));
     }
-    println!("peak rss: {} MiB", peak_rss_mib());
+    println!("peak rss: {} MiB", jm_bench::harness::peak_rss_mib());
 
     // The cross-engine digest diff is the gate.
     let (ref base_label, base) = lines[0];
@@ -121,7 +101,7 @@ fn main() -> ExitCode {
     if let Some(path) = digest_path {
         let body = format!(
             "mesh_smoke nodes={nodes} cycles={cycles} digest={base:016x} peak_rss_mib={}\n",
-            peak_rss_mib()
+            jm_bench::harness::peak_rss_mib()
         );
         std::fs::write(&path, body).expect("write digest file");
     }

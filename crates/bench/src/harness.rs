@@ -66,6 +66,27 @@ pub fn time_once<T, F: FnOnce() -> T>(f: F) -> (Duration, T) {
     (t0.elapsed(), out)
 }
 
+/// Peak resident set size of this process in MiB (0 when unavailable —
+/// `/proc` is Linux-only). Recorded in nightly digest artifacts so a
+/// workload's memory footprint stays visible run over run.
+pub fn peak_rss_mib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib / 1024;
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,3 +28,4 @@ pub mod micro;
 pub mod observe;
 pub mod table;
 pub mod threads;
+pub mod traffic;

@@ -1,0 +1,605 @@
+//! Saturation-throughput curves for the synthetic traffic patterns.
+//!
+//! For each destination pattern of `jm-traffic`, a ladder of offered loads
+//! (flits per node per cycle, in parts per million) is run through a
+//! **warmup / measure / drain** protocol on a 4×4×4 mesh:
+//!
+//! * **warmup** — the first [`WARMUP`] cycles are simulated but excluded
+//!   from measurement, so FIFO and queue occupancies reach steady state;
+//! * **measure** — counters over the next [`MEASURE`] cycles (a
+//!   [`jm_machine::MachineStats`] delta) give offered/accepted/dropped
+//!   message counts and the accepted throughput;
+//! * **drain** — the traffic window closes and the run continues to
+//!   quiescence, so every accepted message is delivered and end-to-end
+//!   latencies are complete, not censored at a cutoff.
+//!
+//! Latency comes from a second, traced run of the identical workload
+//! pinned to the event engine (tracing is single-shard), windowed to
+//! messages *injected* during the measure phase via
+//! [`jm_trace::MachineTrace::breakdown_window`]. Both runs see the exact
+//! same injection sequence — the Bernoulli process is a pure function of
+//! `(seed, node, cycle)` — so the curves pair counters and latencies from
+//! one workload, not two similar ones.
+//!
+//! The **saturation knee** of a curve is the highest offered load the
+//! network still accepts nearly in full (acceptance ratio at least
+//! [`KNEE_ACCEPT_RATIO`]), scanning the ladder in order and stopping at
+//! the first violation. The `traffic_sweep` binary renders the curves,
+//! gates on weak monotonicity, and emits `BENCH_traffic.json`.
+
+use std::fmt::Write as _;
+
+use jm_asm::{Builder, Program, Region};
+use jm_isa::node::MeshDims;
+use jm_isa::operand::MemRef;
+use jm_isa::reg::{AReg, DReg};
+use jm_machine::{
+    Engine, JMachine, MachineConfig, StartPolicy, TraceConfig, TrafficPattern, TrafficSpec,
+};
+
+/// Offered-load ladder, flits per node per cycle in parts per million.
+pub const LOAD_PPM: [u32; 8] = [
+    50_000, 100_000, 150_000, 200_000, 300_000, 450_000, 650_000, 900_000,
+];
+
+/// The five destination patterns, in report order.
+pub const PATTERNS: [TrafficPattern; 5] = [
+    TrafficPattern::UniformRandom,
+    TrafficPattern::Transpose,
+    TrafficPattern::BitReversal,
+    TrafficPattern::Hotspot {
+        weight_ppm: 300_000,
+    },
+    TrafficPattern::NearestNeighbor,
+];
+
+/// Cycles excluded from measurement while occupancies reach steady state.
+pub const WARMUP: u64 = 1_000;
+
+/// Cycles of the measurement window.
+pub const MEASURE: u64 = 4_000;
+
+/// Cycle budget for draining to quiescence after the window closes.
+pub const DRAIN_LIMIT: u64 = 4_000_000;
+
+/// Payload words per generated message (wire length `2*(words+1)` flits).
+pub const MSG_WORDS: u32 = 3;
+
+/// Minimum acceptance ratio for a load point to count as below the knee.
+pub const KNEE_ACCEPT_RATIO: f64 = 0.95;
+
+/// Relative slack for the weak-monotonicity gate below saturation, where
+/// accepted throughput must track offered load almost exactly.
+pub const SLACK: f64 = 0.05;
+
+/// Relative slack between adjacent points past saturation. Accepted
+/// throughput may *degrade* once a pattern saturates — hotspot tree
+/// saturation is the textbook case — but only gently per ladder step.
+pub const POST_SAT_SLACK: f64 = 0.15;
+
+/// Collapse floor: no post-saturation point may fall below this fraction
+/// of the curve's peak accepted throughput.
+pub const COLLAPSE_FLOOR: f64 = 0.70;
+
+/// Flits on the wire per generated message.
+pub fn flits_per_msg() -> u64 {
+    2 * (u64::from(MSG_WORDS) + 1)
+}
+
+/// One measured point of a saturation curve.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficPoint {
+    /// Offered load, flits per node per cycle in parts per million.
+    pub load_ppm: u32,
+    /// Messages the Bernoulli process offered during the measure window.
+    pub offered_msgs: u64,
+    /// Offered messages accepted into injection FIFOs.
+    pub accepted_msgs: u64,
+    /// Offered messages refused (FIFO backpressure) and dropped.
+    pub dropped_msgs: u64,
+    /// Messages delivered during the measure window (includes warmup
+    /// stragglers; a steady-state boundary effect, not double counting).
+    pub delivered_msgs: u64,
+    /// Length of the measure window in cycles.
+    pub measure_cycles: u64,
+    /// Total cycles to quiescence (window plus drain).
+    pub total_cycles: u64,
+    /// Mean end-to-end latency (inject → dispatch) of messages injected
+    /// during the measure window.
+    pub latency_mean: f64,
+    /// Median end-to-end latency (log₂-bucket upper bound).
+    pub latency_p50: u64,
+    /// 99th-percentile end-to-end latency (log₂-bucket upper bound).
+    pub latency_p99: u64,
+    /// Worst end-to-end latency.
+    pub latency_max: u64,
+    /// Messages the latency histogram covers.
+    pub latency_count: u64,
+}
+
+impl TrafficPoint {
+    /// Accepted throughput: flits per node per cycle actually injected.
+    pub fn accepted_throughput(&self, nodes: u32) -> f64 {
+        self.accepted_msgs as f64 * flits_per_msg() as f64
+            / (f64::from(nodes) * self.measure_cycles as f64)
+    }
+
+    /// Fraction of offered messages accepted (1.0 when nothing was
+    /// offered — a vacuously unsaturated point).
+    pub fn accept_ratio(&self) -> f64 {
+        if self.offered_msgs == 0 {
+            1.0
+        } else {
+            self.accepted_msgs as f64 / self.offered_msgs as f64
+        }
+    }
+}
+
+/// The saturation curve of one destination pattern.
+#[derive(Debug, Clone)]
+pub struct PatternCurve {
+    /// The destination pattern.
+    pub pattern: TrafficPattern,
+    /// One point per ladder entry, in [`LOAD_PPM`] order.
+    pub points: Vec<TrafficPoint>,
+}
+
+impl PatternCurve {
+    /// The saturation knee: highest offered load (ppm) whose acceptance
+    /// ratio — and that of every lighter load — is at least
+    /// [`KNEE_ACCEPT_RATIO`]. Zero if even the lightest load saturates.
+    pub fn knee_ppm(&self) -> u32 {
+        let mut knee = 0;
+        for p in &self.points {
+            if p.accept_ratio() < KNEE_ACCEPT_RATIO {
+                break;
+            }
+            knee = p.load_ppm;
+        }
+        knee
+    }
+
+    /// Accepted throughput (flits/node/cycle) at the knee point.
+    pub fn knee_throughput(&self, nodes: u32) -> f64 {
+        let knee = self.knee_ppm();
+        self.points
+            .iter()
+            .find(|p| p.load_ppm == knee)
+            .map_or(0.0, |p| p.accepted_throughput(nodes))
+    }
+}
+
+/// A full sweep: every pattern's curve under one seed on one mesh.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Injection-process seed all curves share.
+    pub seed: u64,
+    /// Mesh dimensions of every run.
+    pub dims: MeshDims,
+    /// One curve per entry of [`PATTERNS`].
+    pub curves: Vec<PatternCurve>,
+}
+
+/// A sink program: generated messages dispatch `sink`, which folds the
+/// first payload word into a per-node accumulator and suspends.
+pub fn sink_program() -> Program {
+    let mut b = Builder::new();
+    b.data("acc", Region::Imem, vec![jm_isa::word::Word::int(0)]);
+    b.label("sink");
+    b.load_seg(AReg::A0, "acc");
+    b.mov(DReg::R0, MemRef::disp(AReg::A0, 0));
+    b.mov(DReg::R1, MemRef::disp(AReg::A3, 1));
+    b.alu(jm_isa::instr::AluOp::Add, DReg::R0, DReg::R0, DReg::R1);
+    b.mov(MemRef::disp(AReg::A0, 0), DReg::R0);
+    b.suspend();
+    b.assemble().unwrap()
+}
+
+fn spec_for(seed: u64, pattern: TrafficPattern, load_ppm: u32, program: &Program) -> TrafficSpec {
+    TrafficSpec::new(seed)
+        .pattern(pattern)
+        .load(load_ppm)
+        .msg_words(MSG_WORDS)
+        .window(0, WARMUP + MEASURE)
+        .handler(program.handler("sink"))
+}
+
+/// Measures one load point: a counter run on the default engine (so
+/// `--threads` sweeps exercise the parallel engine) paired with a traced
+/// event-engine run of the identical workload for latency.
+pub fn measure_point(
+    seed: u64,
+    dims: MeshDims,
+    pattern: TrafficPattern,
+    load_ppm: u32,
+) -> TrafficPoint {
+    let program = sink_program();
+    let spec = spec_for(seed, pattern, load_ppm, &program);
+
+    // Counter run: warmup, snapshot, measure, snapshot, drain.
+    let mut m = JMachine::new(
+        sink_program(),
+        MachineConfig::with_dims(dims)
+            .start(StartPolicy::None)
+            .traffic(spec),
+    );
+    m.run(WARMUP);
+    let warm = m.stats();
+    m.run(MEASURE);
+    let window = m.stats().net.since(&warm.net);
+    let total_cycles = m
+        .run_until_quiescent(DRAIN_LIMIT)
+        .expect("traffic run drains to quiescence once the window closes");
+
+    // Latency run: same workload, traced, pinned to the single-shard
+    // event engine (bit-identical with every other engine by the
+    // differential suite, so the pairing is exact).
+    let mut traced = JMachine::new(
+        sink_program(),
+        MachineConfig::with_dims(dims)
+            .start(StartPolicy::None)
+            .traffic(spec)
+            .engine(Engine::Event)
+            .trace(TraceConfig::on().sample_every(1 << 20)),
+    );
+    traced
+        .run_until_quiescent(DRAIN_LIMIT)
+        .expect("traced traffic run drains to quiescence");
+    let trace = traced.take_trace().expect("tracing was enabled");
+    let lat = trace.breakdown_window(WARMUP, WARMUP + MEASURE).end_to_end;
+
+    TrafficPoint {
+        load_ppm,
+        offered_msgs: window.traffic.offered_msgs,
+        accepted_msgs: window.traffic.accepted_msgs,
+        dropped_msgs: window.traffic.dropped_msgs,
+        delivered_msgs: window.delivered_msgs,
+        measure_cycles: MEASURE,
+        total_cycles,
+        latency_mean: lat.mean(),
+        latency_p50: lat.quantile(0.50),
+        latency_p99: lat.quantile(0.99),
+        latency_max: lat.max(),
+        latency_count: lat.count(),
+    }
+}
+
+/// Runs the full ladder for every pattern with one seed.
+pub fn sweep(seed: u64) -> TrafficReport {
+    let dims = MeshDims::new(4, 4, 4);
+    let curves = PATTERNS
+        .iter()
+        .map(|&pattern| PatternCurve {
+            pattern,
+            points: LOAD_PPM
+                .iter()
+                .map(|&load| measure_point(seed, dims, pattern, load))
+                .collect(),
+        })
+        .collect();
+    TrafficReport { seed, dims, curves }
+}
+
+impl TrafficReport {
+    /// Checks every curve's shape: below saturation accepted throughput
+    /// must track offered load (weak monotonicity with [`SLACK`]); past
+    /// saturation it may degrade — hotspot tree saturation does — but
+    /// only gently per step ([`POST_SAT_SLACK`]) and never below
+    /// [`COLLAPSE_FLOOR`] of the curve's peak. Every point must conserve
+    /// messages (offered = accepted + dropped), offered counts must grow
+    /// with the ladder, and the heaviest hotspot load must actually have
+    /// backpressured. Returns every violation found.
+    pub fn check_monotone(&self) -> Result<(), Vec<String>> {
+        let nodes = self.dims.nodes();
+        let mut bad = Vec::new();
+        for curve in &self.curves {
+            let label = curve.pattern.label();
+            for p in &curve.points {
+                if p.offered_msgs != p.accepted_msgs + p.dropped_msgs {
+                    bad.push(format!(
+                        "{label}: offered {} != accepted {} + dropped {} at {} ppm",
+                        p.offered_msgs, p.accepted_msgs, p.dropped_msgs, p.load_ppm
+                    ));
+                }
+            }
+            for pair in curve.points.windows(2) {
+                let (lo, hi) = (pair[0], pair[1]);
+                if hi.offered_msgs < lo.offered_msgs {
+                    bad.push(format!(
+                        "{label}: offered load fell with the ladder: {} msgs at {} ppm vs {} at {} ppm",
+                        hi.offered_msgs, hi.load_ppm, lo.offered_msgs, lo.load_ppm
+                    ));
+                }
+                let (t_lo, t_hi) = (lo.accepted_throughput(nodes), hi.accepted_throughput(nodes));
+                let slack = if lo.accept_ratio() >= KNEE_ACCEPT_RATIO {
+                    SLACK
+                } else {
+                    POST_SAT_SLACK
+                };
+                if t_hi < t_lo * (1.0 - slack) {
+                    bad.push(format!(
+                        "{label}: accepted throughput fell with offered load: \
+                         {t_hi:.4} f/n/c at {} ppm vs {t_lo:.4} at {} ppm",
+                        hi.load_ppm, lo.load_ppm
+                    ));
+                }
+            }
+            // Collapse check against the *running* peak: a point may sit
+            // below a later, higher plateau (the curve still rising), but
+            // not far below what lighter loads already achieved.
+            let mut peak = 0.0_f64;
+            for p in &curve.points {
+                let t = p.accepted_throughput(nodes);
+                if p.accept_ratio() < KNEE_ACCEPT_RATIO && t < peak * COLLAPSE_FLOOR {
+                    bad.push(format!(
+                        "{label}: post-saturation throughput collapsed: {t:.4} f/n/c at {} ppm \
+                         vs earlier peak {peak:.4}",
+                        p.load_ppm
+                    ));
+                }
+                peak = peak.max(t);
+            }
+        }
+        if let Some(hotspot) = self
+            .curves
+            .iter()
+            .find(|c| matches!(c.pattern, TrafficPattern::Hotspot { .. }))
+        {
+            if hotspot.points.last().is_some_and(|p| p.dropped_msgs == 0) {
+                bad.push("hotspot: heaviest load never backpressured".to_string());
+            }
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// Deterministic per-point counter lines — the digest source. Every
+    /// number is simulated state (counters from the default-engine run,
+    /// latencies from the event-engine trace of the same workload), so
+    /// the digest is identical across engines and host thread counts.
+    pub fn digest_lines(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(s, "mesh {}x{}x{}", self.dims.x, self.dims.y, self.dims.z);
+        for curve in &self.curves {
+            for p in &curve.points {
+                let _ = writeln!(
+                    s,
+                    "{} {} {} {} {} {} {} {} {} {} {} {}",
+                    curve.pattern.label(),
+                    p.load_ppm,
+                    p.offered_msgs,
+                    p.accepted_msgs,
+                    p.dropped_msgs,
+                    p.delivered_msgs,
+                    p.measure_cycles,
+                    p.total_cycles,
+                    p.latency_p50,
+                    p.latency_p99,
+                    p.latency_max,
+                    p.latency_count,
+                );
+            }
+        }
+        s
+    }
+
+    /// Renders the curves as aligned text tables.
+    pub fn render(&self) -> String {
+        let nodes = self.dims.nodes();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "traffic saturation sweep (seed {}, {}x{}x{} mesh, warmup {} + measure {} cycles)",
+            self.seed, self.dims.x, self.dims.y, self.dims.z, WARMUP, MEASURE
+        );
+        for curve in &self.curves {
+            let _ = writeln!(
+                s,
+                "\n  {} (knee {} ppm, {:.4} flits/node/cycle)",
+                curve.pattern.label(),
+                curve.knee_ppm(),
+                curve.knee_throughput(nodes)
+            );
+            let _ = writeln!(
+                s,
+                "  {:>9} {:>9} {:>9} {:>8} {:>10} {:>9} {:>8} {:>8}",
+                "load ppm",
+                "offered",
+                "accepted",
+                "dropped",
+                "thru f/n/c",
+                "lat mean",
+                "lat p99",
+                "lat max"
+            );
+            for p in &curve.points {
+                let _ = writeln!(
+                    s,
+                    "  {:>9} {:>9} {:>9} {:>8} {:>10.4} {:>9.1} {:>8} {:>8}",
+                    p.load_ppm,
+                    p.offered_msgs,
+                    p.accepted_msgs,
+                    p.dropped_msgs,
+                    p.accepted_throughput(nodes),
+                    p.latency_mean,
+                    p.latency_p99,
+                    p.latency_max
+                );
+            }
+        }
+        s
+    }
+
+    /// Renders `BENCH_traffic.json` (hand-rolled; the workspace takes no
+    /// serialization dependency). Rows are keyed `"pattern"` so the
+    /// gate's field scanners cannot collide with `BENCH.json`'s
+    /// `"name"`-keyed rows.
+    pub fn json(&self) -> String {
+        let nodes = self.dims.nodes();
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            s,
+            "  \"mesh\": \"{}x{}x{}\",",
+            self.dims.x, self.dims.y, self.dims.z
+        );
+        let _ = writeln!(s, "  \"warmup_cycles\": {WARMUP},");
+        let _ = writeln!(s, "  \"measure_cycles\": {MEASURE},");
+        s.push_str("  \"curves\": [\n");
+        for (i, curve) in self.curves.iter().enumerate() {
+            let _ = writeln!(s, "    {{\"pattern\": \"{}\",", curve.pattern.label());
+            let _ = writeln!(s, "     \"knee_ppm\": {},", curve.knee_ppm());
+            let _ = writeln!(
+                s,
+                "     \"knee_throughput\": {:.6},",
+                curve.knee_throughput(nodes)
+            );
+            s.push_str("     \"points\": [\n");
+            for (j, p) in curve.points.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "       {{\"load_ppm\": {}, \"offered_msgs\": {}, \"accepted_msgs\": {}, \
+                     \"dropped_msgs\": {}, \"delivered_msgs\": {}, \"throughput\": {:.6}, \
+                     \"latency_mean\": {:.4}, \"latency_p50\": {}, \"latency_p99\": {}, \
+                     \"latency_max\": {}, \"latency_count\": {}}}",
+                    p.load_ppm,
+                    p.offered_msgs,
+                    p.accepted_msgs,
+                    p.dropped_msgs,
+                    p.delivered_msgs,
+                    p.accepted_throughput(nodes),
+                    p.latency_mean,
+                    p.latency_p50,
+                    p.latency_p99,
+                    p.latency_max,
+                    p.latency_count
+                );
+                s.push_str(if j + 1 == curve.points.len() {
+                    "\n"
+                } else {
+                    ",\n"
+                });
+            }
+            s.push_str("     ]}");
+            s.push_str(if i + 1 == self.curves.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(load_ppm: u32, offered: u64, accepted: u64) -> TrafficPoint {
+        TrafficPoint {
+            load_ppm,
+            offered_msgs: offered,
+            accepted_msgs: accepted,
+            dropped_msgs: offered - accepted,
+            delivered_msgs: accepted,
+            measure_cycles: MEASURE,
+            total_cycles: WARMUP + MEASURE + 100,
+            latency_mean: 20.0,
+            latency_p50: 16,
+            latency_p99: 64,
+            latency_max: 80,
+            latency_count: accepted,
+        }
+    }
+
+    #[test]
+    fn knee_is_the_last_load_before_acceptance_collapses() {
+        let curve = PatternCurve {
+            pattern: TrafficPattern::UniformRandom,
+            points: vec![
+                point(50_000, 1000, 1000),
+                point(100_000, 2000, 1995), // 99.75% — above the knee ratio
+                point(150_000, 3000, 2400), // 80% — saturated
+                point(200_000, 4000, 3990), // recovery past the knee is ignored
+            ],
+        };
+        assert_eq!(curve.knee_ppm(), 100_000);
+    }
+
+    #[test]
+    fn knee_is_zero_when_even_the_lightest_load_saturates() {
+        let curve = PatternCurve {
+            pattern: TrafficPattern::UniformRandom,
+            points: vec![point(50_000, 1000, 100)],
+        };
+        assert_eq!(curve.knee_ppm(), 0);
+        assert_eq!(curve.knee_throughput(64), 0.0);
+    }
+
+    #[test]
+    fn monotonicity_gate_flags_a_falling_curve() {
+        let dims = MeshDims::new(4, 4, 4);
+        let good = TrafficReport {
+            seed: 1,
+            dims,
+            curves: vec![PatternCurve {
+                pattern: TrafficPattern::Hotspot {
+                    weight_ppm: 300_000,
+                },
+                points: vec![point(50_000, 1000, 1000), point(100_000, 2000, 1800)],
+            }],
+        };
+        assert!(good.check_monotone().is_ok());
+
+        let falling = TrafficReport {
+            seed: 1,
+            dims,
+            curves: vec![PatternCurve {
+                pattern: TrafficPattern::Hotspot {
+                    weight_ppm: 300_000,
+                },
+                points: vec![point(50_000, 1000, 1000), point(100_000, 2000, 600)],
+            }],
+        };
+        let violations = falling.check_monotone().unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("throughput fell")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn low_load_uniform_point_accepts_everything() {
+        let p = measure_point(
+            7,
+            MeshDims::new(4, 4, 4),
+            TrafficPattern::UniformRandom,
+            50_000,
+        );
+        assert!(p.offered_msgs > 0);
+        assert_eq!(p.dropped_msgs, 0, "50k ppm must be far below saturation");
+        assert_eq!(p.offered_msgs, p.accepted_msgs);
+        assert_eq!(
+            p.latency_count, p.accepted_msgs,
+            "every measured message got a latency"
+        );
+        assert!(p.latency_mean > 0.0);
+    }
+
+    #[test]
+    fn measure_point_is_deterministic() {
+        let dims = MeshDims::new(4, 4, 4);
+        let a = measure_point(9, dims, TrafficPattern::Transpose, 200_000);
+        let b = measure_point(9, dims, TrafficPattern::Transpose, 200_000);
+        assert_eq!(a.offered_msgs, b.offered_msgs);
+        assert_eq!(a.accepted_msgs, b.accepted_msgs);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.latency_p99, b.latency_p99);
+    }
+}

@@ -4,6 +4,7 @@ use jm_fault::FaultSpec;
 use jm_isa::node::MeshDims;
 use jm_mdp::MdpConfig;
 use jm_net::NetConfig;
+use jm_traffic::TrafficSpec;
 
 /// Which nodes start a background thread at boot (at the program's declared
 /// entry point).
@@ -191,6 +192,10 @@ pub struct MachineConfig {
     /// zero rates, no checksums — canonicalizes to no plan at machine
     /// build, so it takes the exact fault-free code paths.
     pub fault: Option<FaultSpec>,
+    /// Synthetic background-traffic plan (none by default). A vacuous
+    /// spec — zero load or an empty window — canonicalizes to no plan at
+    /// machine build, so it takes the exact traffic-free code paths.
+    pub traffic: Option<TrafficSpec>,
 }
 
 impl MachineConfig {
@@ -213,6 +218,7 @@ impl MachineConfig {
             quantum: 0,
             sched: SchedMode::default(),
             fault: None,
+            traffic: None,
         }
     }
 
@@ -229,6 +235,7 @@ impl MachineConfig {
             quantum: 0,
             sched: SchedMode::default(),
             fault: None,
+            traffic: None,
         }
     }
 
@@ -289,6 +296,12 @@ impl MachineConfig {
     /// Sets the fault-injection plan (builder style).
     pub fn fault(mut self, spec: FaultSpec) -> MachineConfig {
         self.fault = Some(spec);
+        self
+    }
+
+    /// Sets the synthetic background-traffic plan (builder style).
+    pub fn traffic(mut self, spec: TrafficSpec) -> MachineConfig {
+        self.traffic = Some(spec);
         self
     }
 

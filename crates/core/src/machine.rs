@@ -20,6 +20,7 @@ use jm_isa::TraceId;
 use jm_mdp::{InjectAck, MdpNode, NetPort, NodeError};
 use jm_net::{InjectResult, Network, ScanPolicy};
 use jm_trace::{MachineTrace, SamplePoint};
+use jm_traffic::TrafficPlan;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -380,6 +381,8 @@ impl JMachine {
         // every fault hook below stays on its fault-free path.
         let fault = config.fault.and_then(FaultPlan::from_spec);
         config.mdp.checksum_msgs = fault.is_some_and(|p| p.checksums());
+        // Same canonicalization for the synthetic-traffic plan.
+        let traffic = config.traffic.and_then(TrafficPlan::from_spec);
         // One knob drives both congestion-aware switches: the scheduler's
         // heap/dense choice and the net layer's active-set/occupancy scan.
         config.net.scan = match config.sched {
@@ -418,6 +421,7 @@ impl JMachine {
             .collect::<Vec<_>>();
         let mut net = Network::with_shards(config.net, shards);
         net.set_fault_plan(fault);
+        net.set_traffic_plan(traffic);
         if config.trace.enabled {
             net.set_tracing(true);
             for node in &mut nodes {
@@ -704,7 +708,10 @@ impl JMachine {
             .map(EventSched::next_due)
             .min()
             .unwrap_or(u64::MAX);
-        let target = next.min(limit);
+        // A pending traffic window is a scheduled wake-up too: skipping to
+        // its first cycle is sound (nothing can fire before it), skipping
+        // past it would lose generated messages.
+        let target = next.min(self.net.traffic_wake()).min(limit);
         if target > self.cycle {
             self.net.skip_to(target);
             self.cycle = target;
@@ -790,6 +797,11 @@ impl JMachine {
     /// queues and the network drained. O(1) on the event engine (maintained
     /// counters); a full scan on the naive engine.
     pub fn is_quiescent(&self) -> bool {
+        // A machine whose traffic plan can still generate messages is not
+        // finished, however idle it looks right now.
+        if self.net.traffic_wake() != u64::MAX {
+            return false;
+        }
         match self.config.engine {
             Engine::Naive => self.net.is_idle() && self.nodes.iter().all(|n| !n.has_work()),
             Engine::Event | Engine::Parallel(_) => {

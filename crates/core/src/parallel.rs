@@ -436,7 +436,12 @@ impl QuantumCtl {
                     return progressed;
                 }
                 slot.shard.exchange(below, above);
-                let quiet = slot.sched.work_count == 0 && slot.shard.is_idle();
+                // A shard whose traffic window still lies ahead is not
+                // quiet: quiescence must wait for the generator to finish
+                // (mirrors `JMachine::is_quiescent`).
+                let quiet = slot.sched.work_count == 0
+                    && slot.shard.is_idle()
+                    && slot.shard.traffic_wake() == u64::MAX;
                 if quiet {
                     if slot.quiet_since == NOT_QUIET {
                         slot.quiet_since = x;
@@ -452,7 +457,13 @@ impl QuantumCtl {
                     st.work.store(slot.sched.work_count, Relaxed);
                     st.errors.store(slot.sched.error_count, Relaxed);
                     st.net_idle.store(slot.shard.is_idle(), Relaxed);
-                    st.next_wake.store(slot.sched.next_due(), Relaxed);
+                    // The traffic window's next active cycle caps the
+                    // idle-skip target exactly like a scheduled node
+                    // wake-up (mirrors `JMachine::fast_forward`).
+                    st.next_wake.store(
+                        slot.sched.next_due().min(slot.shard.traffic_wake()),
+                        Relaxed,
+                    );
                     st.quiet_since.store(slot.quiet_since, Relaxed);
                     st.activity.store(
                         slot.shard.in_flight() + slot.sched.work_count as u64,

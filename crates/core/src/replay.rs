@@ -165,6 +165,7 @@ impl JMachine {
         Some(ReplayLog {
             config: recorded_config(self.config()),
             fault: self.config().fault,
+            traffic: self.config().traffic,
             interval: rec.interval,
             program: self.program().clone(),
             records,
@@ -326,6 +327,7 @@ pub fn recorded_machine_config(log: &ReplayLog) -> MachineConfig {
         _ => SchedMode::Auto,
     };
     cfg.fault = log.fault;
+    cfg.traffic = log.traffic;
     cfg
 }
 
@@ -686,5 +688,51 @@ mod tests {
         assert_eq!(back.sched, SchedMode::ForcedScan);
         assert_eq!(back.start, StartPolicy::AllNodes);
         assert_eq!(back.fault, Some(spec));
+    }
+
+    #[test]
+    fn traffic_run_records_its_spec_and_replays_clean() {
+        // A machine driven purely by the synthetic-traffic generator has
+        // no host ops at all — everything it does comes from the traffic
+        // spec. If the log did not carry the spec, a replay would rebuild
+        // a silent machine and diverge at the first injected message.
+        let mut b = Builder::new();
+        b.data("acc", Region::Imem, vec![Word::int(0)]);
+        b.label("sink");
+        b.load_seg(A0, "acc");
+        b.mov(R0, MemRef::disp(A0, 0));
+        b.mov(R1, MemRef::disp(A3, 1));
+        b.alu(jm_isa::instr::AluOp::Add, R0, R0, R1);
+        b.mov(MemRef::disp(A0, 0), R0);
+        b.suspend();
+        let program = b.assemble().unwrap();
+        let spec = crate::TrafficSpec::new(11)
+            .pattern(crate::TrafficPattern::BitReversal)
+            .load(200_000)
+            .msg_words(3)
+            .window(0, 300)
+            .handler(program.handler("sink"));
+        let cfg = MachineConfig::new(8).start(StartPolicy::None).traffic(spec);
+        let mut m = JMachine::new(program, cfg);
+        m.record_replay(64);
+        m.run(300);
+        m.run_until_quiescent(100_000).unwrap();
+        let log = m.finish_replay().unwrap();
+        assert_eq!(log.traffic, Some(spec));
+        assert!(log.checkpoints() > 3, "expected several checkpoints");
+        let back = ReplayLog::from_bytes(&log.to_bytes()).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(recorded_machine_config(&log).traffic, Some(spec));
+        for f in [
+            MachineFactory::recorded(),
+            MachineFactory::recorded().engine(Engine::Naive),
+            MachineFactory::recorded()
+                .engine(Engine::Parallel(2))
+                .quantum(1),
+        ] {
+            let report = jm_replay::verify(&log, &f);
+            assert!(report.clean(), "{f:?}: {report}");
+            assert_eq!(report.checked as usize, log.checkpoints());
+        }
     }
 }

@@ -75,6 +75,29 @@ impl Network {
         }
     }
 
+    /// Installs (or clears) a traffic plan on every shard. Must be called
+    /// before simulation starts; plan queries key on global node ids and
+    /// the lockstep cycle counter, so the generated workload is independent
+    /// of the shard cut exactly like the fault plans.
+    pub fn set_traffic_plan(&mut self, plan: Option<jm_traffic::TrafficPlan>) {
+        for shard in &mut self.shards {
+            shard.set_traffic_plan(plan);
+        }
+    }
+
+    /// The next cycle at or after the current one with possible generated
+    /// traffic, or `u64::MAX` when there is none (no plan, or its window is
+    /// exhausted). Engines gate idle-skip and quiescence on this: the cycle
+    /// counter must never skip past it, and a machine is not finished while
+    /// it is finite.
+    pub fn traffic_wake(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(NetShard::traffic_wake)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
     /// Turns lifecycle tracing on or off. While on, every accepted message
     /// is assigned a [`TraceId`] (its 1-based injection ordinal) and the
     /// network emits inject / per-hop / deliver events.
@@ -778,6 +801,84 @@ mod tests {
             }
         }
         assert!(bad > 0, "corruption never hit a validated word");
+    }
+
+    #[test]
+    fn generated_traffic_is_shard_independent() {
+        use jm_traffic::{TrafficPattern, TrafficPlan, TrafficSpec};
+        // A bit-reversal workload over a bounded window: every shard cut
+        // must offer, accept, drop, and deliver the identical messages at
+        // the identical cycles.
+        let run = |shards| {
+            let dims = MeshDims::new(2, 2, 8);
+            let mut net = Network::with_shards(NetConfig::new(dims), shards);
+            net.set_traffic_plan(TrafficPlan::from_spec(
+                TrafficSpec::new(7)
+                    .pattern(TrafficPattern::BitReversal)
+                    .load(300_000)
+                    .msg_words(2)
+                    .window(0, 300)
+                    .handler(5),
+            ));
+            let mut record = Vec::new();
+            let drain = |net: &mut Network, record: &mut Vec<(u64, u32, Word)>| {
+                for n in 0..dims.nodes() {
+                    while let Some(w) = net.pop_delivered(NodeId(n), MsgPriority::P0) {
+                        record.push((net.cycle(), n, w));
+                    }
+                }
+            };
+            for _ in 0..600 {
+                net.step();
+                drain(&mut net, &mut record);
+                if net.cycle() >= 300 && net.is_idle() {
+                    break;
+                }
+            }
+            assert!(net.is_idle(), "traffic failed to drain");
+            assert_eq!(net.traffic_wake(), u64::MAX);
+            (record, net.stats())
+        };
+        let (record1, stats1) = run(1);
+        assert!(stats1.traffic.offered_msgs > 0, "generator never fired");
+        assert_eq!(
+            stats1.traffic.offered_msgs,
+            stats1.traffic.accepted_msgs + stats1.traffic.dropped_msgs
+        );
+        assert_eq!(stats1.delivered_msgs, stats1.traffic.accepted_msgs);
+        for shards in [2, 4, 8] {
+            let (record, stats) = run(shards);
+            assert_eq!(record, record1, "{shards}-shard traffic record diverged");
+            assert_eq!(stats, stats1, "{shards}-shard traffic stats diverged");
+        }
+    }
+
+    #[test]
+    fn traffic_wake_tracks_the_window() {
+        use jm_traffic::{TrafficPlan, TrafficSpec};
+        let mut net = Network::new(NetConfig::new(MeshDims::new(2, 1, 1)));
+        net.set_traffic_plan(TrafficPlan::from_spec(
+            TrafficSpec::new(1)
+                .load(500_000)
+                .window(100, 120)
+                .handler(3),
+        ));
+        assert_eq!(net.traffic_wake(), 100);
+        net.skip_to(100);
+        assert_eq!(net.traffic_wake(), 100);
+        let mut delivered = 0;
+        for _ in 0..200 {
+            net.step();
+            while net.pop_delivered(NodeId(0), MsgPriority::P0).is_some() {
+                delivered += 1;
+            }
+            while net.pop_delivered(NodeId(1), MsgPriority::P0).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(net.traffic_wake(), u64::MAX);
+        assert!(delivered > 0, "windowed traffic never delivered");
+        assert!(net.stats().traffic.accepted_msgs > 0);
     }
 
     #[test]

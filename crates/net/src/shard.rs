@@ -40,9 +40,10 @@ use jm_fault::{checksum_words, FaultPlan};
 use jm_isa::instr::MsgPriority;
 use jm_isa::node::{NodeId, RouteWord};
 use jm_isa::tag::Tag;
-use jm_isa::word::Word;
+use jm_isa::word::{MsgHeader, Word};
 use jm_isa::TraceId;
 use jm_trace::{Event, EventKind, FaultEvent, Tracer};
+use jm_traffic::TrafficPlan;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Mutex;
 
@@ -219,6 +220,14 @@ pub struct NetShard {
     /// ids and the lockstep cycle counter, so every shard layout answers
     /// identically; `None` (the default) keeps the fault-free fast paths.
     fault: Option<FaultPlan>,
+    /// Synthetic-traffic plan, if this run generates background traffic.
+    /// Like the fault plan, queries are pure functions of global node id
+    /// and the lockstep cycle, so the generated workload is identical under
+    /// every shard layout; `None` keeps the traffic-free fast paths.
+    traffic: Option<TrafficPlan>,
+    /// Reusable message-composition buffer for the traffic generator (no
+    /// per-message allocation on the injection path).
+    traffic_words: Vec<Word>,
 }
 
 impl NetShard {
@@ -291,6 +300,8 @@ impl NetShard {
             bulk: None,
             tracer: None,
             fault: None,
+            traffic: None,
+            traffic_words: Vec::new(),
         }
     }
 
@@ -298,6 +309,21 @@ impl NetShard {
     /// every shard before simulation starts.
     pub(crate) fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.fault = plan;
+    }
+
+    /// Installs (or clears) the traffic plan. Must be set identically on
+    /// every shard before simulation starts.
+    pub(crate) fn set_traffic_plan(&mut self, plan: Option<TrafficPlan>) {
+        self.traffic = plan;
+    }
+
+    /// The next cycle at or after the shard's current cycle with possible
+    /// generated traffic, or `u64::MAX` when there is none. Engines must
+    /// not skip the cycle counter past this point, and must not treat the
+    /// shard as finished while it is finite: an idle mesh whose generation
+    /// window lies ahead still has work coming.
+    pub fn traffic_wake(&self) -> u64 {
+        self.traffic.map_or(u64::MAX, |p| p.next_active(self.cycle))
     }
 
     /// First global node id owned by this shard.
@@ -360,6 +386,11 @@ impl NetShard {
     /// agrees — the coordinator checks that before issuing a skip).
     pub fn skip_to(&mut self, cycle: u64) {
         debug_assert_eq!(self.in_flight, 0, "skip_to with flits in flight");
+        debug_assert!(
+            self.traffic
+                .is_none_or(|p| cycle <= p.next_active(self.cycle)),
+            "skip_to past the traffic window"
+        );
         self.cycle = self.cycle.max(cycle);
     }
 
@@ -377,6 +408,11 @@ impl NetShard {
             "rewind_idle_to with undelivered words"
         );
         debug_assert!(cycle <= self.cycle, "rewind_idle_to must not advance");
+        debug_assert!(
+            self.traffic
+                .is_none_or(|p| p.next_active(cycle) == u64::MAX),
+            "rewind_idle_to into the traffic window"
+        );
         self.cycle = cycle;
     }
 
@@ -842,6 +878,43 @@ impl NetShard {
         // `in_flight` already counts the still-buffered flits.
     }
 
+    /// Offers every message the traffic plan generates this cycle to the
+    /// local injection ports, in ascending node order. Refusals (FIFO
+    /// backpressure or a node-down fault) are counted and *not* retried:
+    /// the Bernoulli process models independent offered load, and because
+    /// injection-FIFO occupancy at this point in the cycle is engine-
+    /// independent, the drop pattern is too.
+    fn inject_traffic(&mut self) {
+        let Some(plan) = self.traffic else { return };
+        let cycle = self.cycle;
+        if !plan.in_window(cycle) {
+            return;
+        }
+        let dims = self.config.dims;
+        let payload_words = plan.msg_words();
+        for l in 0..self.routers.len() {
+            let node = (self.base + l) as u32;
+            if !plan.fires(node, cycle) {
+                continue;
+            }
+            self.stats.traffic.offered_msgs += 1;
+            let dest = plan.dest(node, cycle, dims);
+            let mut words = std::mem::take(&mut self.traffic_words);
+            words.clear();
+            words.push(RouteWord::new(dims.coord(dest)).to_word());
+            words.push(MsgHeader::new(plan.handler_ip(), payload_words).to_word());
+            for k in 1..payload_words {
+                words.push(Word::int(k as i32));
+            }
+            match self.commit_msg(NodeId(node), MsgPriority::P0, &words) {
+                InjectResult::Accepted => self.stats.traffic.accepted_msgs += 1,
+                InjectResult::Stall => self.stats.traffic.dropped_msgs += 1,
+                InjectResult::BadRoute => unreachable!("generated message misframed"),
+            }
+            self.traffic_words = words;
+        }
+    }
+
     /// Whether `node`'s interface is down this cycle; counts the refusal
     /// (and traces it) so degradation curves can attribute send stalls.
     fn node_down_stall(&mut self, node: NodeId, cycle: u64) -> bool {
@@ -887,6 +960,15 @@ impl NetShard {
     /// router activated mid-step only holds flits with
     /// `ready_cycle == cycle + 1`, which the scan would skip anyway.
     pub fn step_cycle(&mut self, below: Option<&Edge>, above: Option<&Edge>) {
+        // Generated traffic enters first, before the idle early-out: the
+        // generator is what *creates* work on an otherwise-empty shard. Node
+        // sends for this cycle have already been committed by the caller
+        // (the machine ticks nodes before stepping the network), so the
+        // inject-FIFO occupancy the generator observes — and therefore every
+        // accept/drop decision — is identical under every engine.
+        if self.traffic.is_some() {
+            self.inject_traffic();
+        }
         if self.in_flight == 0 {
             self.cycle += 1;
             return;

@@ -2,6 +2,7 @@
 
 use jm_fault::FaultStats;
 use jm_isa::consts::CLOCK_HZ;
+use jm_traffic::TrafficStats;
 
 /// Counters accumulated by the network across a run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -23,6 +24,8 @@ pub struct NetStats {
     pub injected_msgs: u64,
     /// Fault-injection counters (all zero on fault-free runs).
     pub faults: FaultStats,
+    /// Synthetic-traffic counters (all zero without a traffic plan).
+    pub traffic: TrafficStats,
 }
 
 impl NetStats {
@@ -63,6 +66,7 @@ impl NetStats {
         self.latency_max = self.latency_max.max(other.latency_max);
         self.injected_msgs += other.injected_msgs;
         self.faults.merge(&other.faults);
+        self.traffic.merge(&other.traffic);
     }
 
     /// Difference of two snapshots (`self` later minus `earlier`), for
@@ -94,6 +98,7 @@ impl NetStats {
             latency_max,
             injected_msgs: self.injected_msgs - earlier.injected_msgs,
             faults: self.faults.since(&earlier.faults),
+            traffic: self.traffic.since(&earlier.traffic),
         }
     }
 }

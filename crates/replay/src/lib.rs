@@ -382,6 +382,16 @@ mod tests {
                     .checksums(true)
                     .window(jm_fault::FaultWindow::link_down(0, 2, 10, 20)),
             ),
+            traffic: Some(
+                jm_traffic::TrafficSpec::new(9)
+                    .pattern(jm_traffic::TrafficPattern::Hotspot {
+                        weight_ppm: 250_000,
+                    })
+                    .load(120_000)
+                    .msg_words(3)
+                    .window(5, 500)
+                    .handler(17),
+            ),
             interval: 16,
             program,
             records: vec![
@@ -428,6 +438,7 @@ mod tests {
         let back = ReplayLog::from_bytes(&bytes).unwrap();
         assert_eq!(back.config, log.config);
         assert_eq!(back.fault, log.fault);
+        assert_eq!(back.traffic, log.traffic);
         assert_eq!(back.interval, log.interval);
         assert_eq!(back.records, log.records);
         assert_eq!(back.program.code, log.program.code);

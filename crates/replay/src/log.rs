@@ -1,16 +1,19 @@
 //! The replay log: binary format, encoder, decoder.
 //!
 //! A log is everything a re-execution cannot derive for itself — the full
-//! machine configuration (including the fault spec: fault decisions are
-//! pure functions of `(seed, node, port, cycle)`, so the spec *is* the
-//! outcome), the program image, and every host-boundary input stamped with
+//! machine configuration (including the fault and traffic specs: fault and
+//! injection decisions are pure functions of `(seed, node, port, cycle)`
+//! and `(seed, node, cycle)` respectively, so each spec *is* the outcome),
+//! the program image, and every host-boundary input stamped with
 //! the cycle it was applied at — plus a trail of per-interval state hashes
 //! against which a re-execution is checked. Everything that happens
-//! *inside* the machine (sends, routing, fault draws, handler dispatch) is
-//! deterministic given those inputs and is deliberately not recorded.
+//! *inside* the machine (sends, routing, fault draws, traffic injection,
+//! handler dispatch) is deterministic given those inputs and is
+//! deliberately not recorded.
 //!
-//! The byte format is little-endian throughout, magic `JMRP1\n`, and has no
-//! alignment padding; see `DESIGN.md` §4.11 for the field-by-field layout.
+//! The byte format is little-endian throughout, magic `JMRP2\n` (version 2
+//! added the traffic-spec section), and has no alignment padding; see
+//! `DESIGN.md` §4.11 for the field-by-field layout.
 
 use jm_asm::{DataBlock, Program, SymbolValue};
 use jm_fault::{FaultSpec, FaultWindow, FaultWindowKind};
@@ -20,11 +23,15 @@ use jm_isa::tag::Tag;
 use jm_isa::word::{SegDesc, Word};
 use jm_mdp::{MdpConfig, TimingConfig};
 use jm_net::{NetConfig, ScanPolicy};
+use jm_traffic::{TrafficPattern, TrafficSpec};
 use std::fmt;
 use std::path::Path;
 
-/// Magic bytes opening every log (`JMRP` + format version 1).
-pub const MAGIC: &[u8; 6] = b"JMRP1\n";
+/// Magic bytes opening every log (`JMRP` + format version 2; version 1
+/// predates the traffic-spec section). Logs are ephemeral CI artifacts,
+/// so a format bump invalidates nothing durable — an old log fails
+/// cleanly at the magic check instead of misparsing.
+pub const MAGIC: &[u8; 6] = b"JMRP2\n";
 
 /// Default hash-boundary spacing in cycles. Chosen so that hashing every
 /// node's register file, queues, and memory pages plus every router's
@@ -185,6 +192,11 @@ pub struct ReplayLog {
     /// Fault campaign, if the run injected faults. The spec alone
     /// reproduces every fault decision on replay.
     pub fault: Option<FaultSpec>,
+    /// Synthetic traffic plan, if the run generated background traffic.
+    /// Like the fault spec, injection is a pure function of
+    /// `(seed, node, cycle)`, so the spec alone reproduces every
+    /// generated message on replay.
+    pub traffic: Option<TrafficSpec>,
     /// Hash-boundary spacing in cycles the recorder aimed for.
     pub interval: u64,
     /// The program image loaded on every node.
@@ -321,6 +333,28 @@ impl ReplayLog {
                     w.u64(win.from);
                     w.u64(win.until);
                 }
+            }
+        }
+        match &self.traffic {
+            None => w.u8(0),
+            Some(spec) => {
+                w.u8(1);
+                w.u64(spec.seed);
+                match spec.pattern {
+                    TrafficPattern::UniformRandom => w.u8(0),
+                    TrafficPattern::Transpose => w.u8(1),
+                    TrafficPattern::BitReversal => w.u8(2),
+                    TrafficPattern::Hotspot { weight_ppm } => {
+                        w.u8(3);
+                        w.u32(weight_ppm);
+                    }
+                    TrafficPattern::NearestNeighbor => w.u8(4),
+                }
+                w.u32(spec.load_ppm);
+                w.u32(spec.msg_words);
+                w.u64(spec.from);
+                w.u64(spec.until);
+                w.u32(spec.handler_ip);
             }
         }
         let p = &self.program;
@@ -501,6 +535,28 @@ impl ReplayLog {
         } else {
             None
         };
+        let traffic = if r.u8()? != 0 {
+            let seed = r.u64()?;
+            let pattern = match r.u8()? {
+                0 => TrafficPattern::UniformRandom,
+                1 => TrafficPattern::Transpose,
+                2 => TrafficPattern::BitReversal,
+                3 => TrafficPattern::Hotspot {
+                    weight_ppm: r.u32()?,
+                },
+                4 => TrafficPattern::NearestNeighbor,
+                k => return Err(LogError::new(format!("bad traffic pattern {k}"))),
+            };
+            let mut spec = TrafficSpec::new(seed).pattern(pattern);
+            spec.load_ppm = r.u32()?;
+            spec.msg_words = r.u32()?;
+            spec.from = r.u64()?;
+            spec.until = r.u64()?;
+            spec.handler_ip = r.u32()?;
+            Some(spec)
+        } else {
+            None
+        };
         let ninstr = r.u32()?;
         let mut code = Vec::with_capacity(ninstr as usize);
         for i in 0..ninstr {
@@ -621,6 +677,7 @@ impl ReplayLog {
                 net,
             },
             fault,
+            traffic,
             interval,
             program,
             records,

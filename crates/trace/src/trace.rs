@@ -205,6 +205,31 @@ impl MachineTrace {
         b
     }
 
+    /// Histograms of the latency decomposition restricted to messages
+    /// *injected* in cycles `[from, until)` — the measurement window of a
+    /// warmup/measure/drain protocol. Keying the filter on the injection
+    /// cycle (rather than delivery) keeps the population well-defined: a
+    /// message injected inside the window contributes its full latency even
+    /// when it dispatches during the drain phase.
+    pub fn breakdown_window(&self, from: u64, until: u64) -> Breakdown {
+        let mut b = Breakdown::default();
+        for m in self.messages() {
+            if m.inject < from || m.inject >= until {
+                continue;
+            }
+            if let (Some(net), Some(queue), Some(e2e)) = (m.t_net(), m.t_queue(), m.end_to_end()) {
+                b.net.record(net);
+                b.queue.record(queue);
+                b.end_to_end.record(e2e);
+                b.hops.record(u64::from(m.hops));
+            }
+            if let Some(h) = m.t_handler() {
+                b.handler.record(h);
+            }
+        }
+        b
+    }
+
     /// Renders the per-mechanism latency breakdown as a text table: one row
     /// per component, mean/median/p99/max in cycles.
     pub fn breakdown_table(&self) -> String {
@@ -362,5 +387,18 @@ mod tests {
         assert_eq!(b.end_to_end.count(), 1);
         assert_eq!(t.messages().len(), 2);
         assert!(t.breakdown_table().contains("1 dispatched message"));
+    }
+
+    #[test]
+    fn breakdown_window_filters_on_inject_cycle() {
+        // The lifecycle message injects at cycle 10 and dispatches at 20:
+        // a window containing its injection keeps it even when the window
+        // closes before dispatch; a window past its injection drops it.
+        let t = MachineTrace::assemble(vec![lifecycle_events()], Vec::new(), 8);
+        assert_eq!(t.breakdown_window(0, 11).end_to_end.count(), 1);
+        assert_eq!(t.breakdown_window(10, 11).end_to_end.count(), 1);
+        assert_eq!(t.breakdown_window(11, 100).end_to_end.count(), 0);
+        assert_eq!(t.breakdown_window(0, 10).end_to_end.count(), 0);
+        assert_eq!(t.breakdown_window(0, 11), t.breakdown());
     }
 }

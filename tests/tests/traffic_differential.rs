@@ -1,0 +1,236 @@
+//! Differential tests for the synthetic-traffic layer: every destination
+//! pattern must produce **bit-identical** runs across the naive, event, and
+//! parallel engines (threads ∈ {1, 2, 4}), at quantum auto and quantum 1,
+//! under a chaos fault plan, and with the wormhole bulk-advance fast path
+//! toggled off. The injection process is a pure function of
+//! `(seed, node, cycle)` and hooks into `step_cycle` before any routing
+//! work, so the accept/drop decision at each node's inject FIFO depends
+//! only on architectural state — never on engine, shard cut, or quantum.
+
+use jm_asm::{Builder, Program, Region};
+use jm_isa::node::NodeId;
+use jm_isa::operand::MemRef;
+use jm_isa::reg::{AReg::*, DReg::*};
+use jm_isa::word::Word;
+use jm_isa::MeshDims;
+use jm_machine::{
+    Engine, FaultSpec, JMachine, MachineConfig, MachineStats, StartPolicy, TrafficPattern,
+    TrafficSpec,
+};
+
+/// Every engine under differential test, naive reference first.
+const ENGINES: [Engine; 5] = [
+    Engine::Naive,
+    Engine::Event,
+    Engine::Parallel(1),
+    Engine::Parallel(2),
+    Engine::Parallel(4),
+];
+
+/// Parallel-engine quanta exercised per engine: auto and the pathological
+/// one-cycle quantum (maximum exchange frequency).
+const QUANTA: [u32; 2] = [0, 1];
+
+/// All five destination patterns.
+const PATTERNS: [TrafficPattern; 5] = [
+    TrafficPattern::UniformRandom,
+    TrafficPattern::Transpose,
+    TrafficPattern::BitReversal,
+    TrafficPattern::Hotspot {
+        weight_ppm: 300_000,
+    },
+    TrafficPattern::NearestNeighbor,
+];
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    /// `Ok(cycles)` or the error's debug rendering.
+    outcome: Result<u64, String>,
+    /// Aggregated statistics (includes traffic offered/accepted/dropped).
+    stats: MachineStats,
+    /// Per-node contents of every declared data block.
+    memory: Vec<Vec<Word>>,
+}
+
+/// A sink program: generated messages dispatch `sink`, which accumulates
+/// the first payload word into a per-node counter — enough real handler
+/// work that a lost or reordered message corrupts visible memory.
+fn sink_program() -> Program {
+    let mut b = Builder::new();
+    b.data("acc", Region::Imem, vec![Word::int(0)]);
+    b.label("sink");
+    b.load_seg(A0, "acc");
+    b.mov(R0, MemRef::disp(A0, 0));
+    b.mov(R1, MemRef::disp(A3, 1));
+    b.alu(jm_isa::instr::AluOp::Add, R0, R0, R1);
+    b.mov(MemRef::disp(A0, 0), R0);
+    b.suspend();
+    b.assemble().unwrap()
+}
+
+/// Base config for the suite: a 2×2×8 mesh so `Parallel(4)` gets four real
+/// shards (shard count is clamped to z/2), with the traffic spec's handler
+/// resolved against the assembled sink program.
+fn traffic_config(program: &Program, spec: TrafficSpec) -> MachineConfig {
+    MachineConfig::with_dims(MeshDims::new(2, 2, 8))
+        .start(StartPolicy::None)
+        .traffic(spec.handler(program.handler("sink")).msg_words(3))
+}
+
+/// Runs the sink program under `engine`/`quantum` and records every
+/// observable.
+fn observe(config: MachineConfig, engine: Engine, quantum: u32, max_cycles: u64) -> Observation {
+    let mut m = JMachine::new(sink_program(), config.engine(engine).quantum(quantum));
+    let outcome = m
+        .run_until_quiescent(max_cycles)
+        .map_err(|e| format!("{e:?}"));
+    let mut memory = Vec::new();
+    for id in 0..m.node_count() {
+        let node = m.node(NodeId(id));
+        let mut words = Vec::new();
+        for block in &m.program().data {
+            words.extend(node.dump_mem(block.base, block.len));
+        }
+        memory.push(words);
+    }
+    Observation {
+        outcome,
+        stats: m.stats(),
+        memory,
+    }
+}
+
+/// Runs the workload on every engine × quantum and asserts bit-identical
+/// observables against the naive reference.
+fn assert_equivalent(label: &str, config: MachineConfig, max_cycles: u64) -> Observation {
+    let naive = observe(config, ENGINES[0], 0, max_cycles);
+    for engine in &ENGINES[1..] {
+        for quantum in QUANTA {
+            let other = observe(config, *engine, quantum, max_cycles);
+            assert_eq!(
+                naive, other,
+                "{label}/{engine:?}/q{quantum}: run diverged from naive"
+            );
+        }
+    }
+    naive
+}
+
+#[test]
+fn all_patterns_are_engine_exact() {
+    let program = sink_program();
+    for pattern in PATTERNS {
+        let spec = TrafficSpec::new(7)
+            .pattern(pattern)
+            .load(200_000)
+            .window(0, 400);
+        let obs = assert_equivalent(pattern.label(), traffic_config(&program, spec), 50_000);
+        assert!(
+            obs.outcome.is_ok(),
+            "{}: {:?}",
+            pattern.label(),
+            obs.outcome
+        );
+        let traffic = obs.stats.net.traffic;
+        assert!(traffic.offered_msgs > 0, "{}: no traffic", pattern.label());
+        assert_eq!(
+            traffic.offered_msgs,
+            traffic.accepted_msgs + traffic.dropped_msgs,
+            "{}: offered != accepted + dropped",
+            pattern.label()
+        );
+        // Every accepted message reached its sink: nothing in flight after
+        // quiescence, so network delivery count matches acceptance.
+        assert_eq!(obs.stats.net.delivered_msgs, traffic.accepted_msgs);
+    }
+}
+
+#[test]
+fn traffic_under_chaos_fault_plan_is_engine_exact() {
+    // Flaky links retry, corrupt messages are dropped at checksum check —
+    // both perturb timing heavily, neither may perturb it differently per
+    // engine. Bit reversal maximizes cross-mesh (multi-shard) routes.
+    let program = sink_program();
+    let spec = TrafficSpec::new(11)
+        .pattern(TrafficPattern::BitReversal)
+        .load(200_000)
+        .window(0, 400);
+    let fault = FaultSpec::new(5)
+        .flaky(30_000)
+        .corrupt(8_000)
+        .checksums(true);
+    let obs = assert_equivalent("chaos", traffic_config(&program, spec).fault(fault), 50_000);
+    assert!(obs.outcome.is_ok(), "{:?}", obs.outcome);
+    assert!(obs.stats.net.traffic.offered_msgs > 0);
+    assert!(
+        obs.stats.net.faults.blocked_moves > 0,
+        "chaos plan never blocked a flit move"
+    );
+}
+
+#[test]
+fn traffic_with_bulk_advance_disabled_is_engine_exact() {
+    // The wormhole bulk-advance fast path must be a pure optimization:
+    // disabling it may not change a single observable, and the toggled
+    // config must still be engine-exact.
+    let program = sink_program();
+    let spec = TrafficSpec::new(7)
+        .pattern(TrafficPattern::Transpose)
+        .load(150_000)
+        .window(0, 400);
+    let mut config = traffic_config(&program, spec);
+    let with_bulk = assert_equivalent("bulk-on", config, 50_000);
+    config.net.bulk = false;
+    let without_bulk = assert_equivalent("bulk-off", config, 50_000);
+    assert_eq!(with_bulk, without_bulk, "bulk-advance changed observables");
+    assert!(with_bulk.stats.net.traffic.offered_msgs > 0);
+}
+
+#[test]
+fn future_traffic_window_defeats_idle_skip() {
+    // StartPolicy::None and a window starting at cycle 200: the machine is
+    // completely idle until the window opens, so quiescence detection and
+    // the idle fast-forward must treat the pending window as a scheduled
+    // wake-up — on every engine. A machine that quiesces at cycle 0 never
+    // generates the traffic at all.
+    let program = sink_program();
+    let spec = TrafficSpec::new(3)
+        .pattern(TrafficPattern::UniformRandom)
+        .load(400_000)
+        .window(200, 260);
+    let obs = assert_equivalent("future-window", traffic_config(&program, spec), 50_000);
+    let cycles = obs.outcome.expect("future-window run failed");
+    assert!(
+        cycles >= 200,
+        "machine quiesced at cycle {cycles}, before the traffic window opened"
+    );
+    assert!(obs.stats.net.traffic.accepted_msgs > 0);
+    assert_eq!(
+        obs.stats.net.delivered_msgs,
+        obs.stats.net.traffic.accepted_msgs
+    );
+}
+
+#[test]
+fn saturating_load_backpressures_deterministically() {
+    // At an absurd offered load the inject FIFOs overflow and messages are
+    // dropped; the drop counter is part of the differential observation, so
+    // drops must land on the same (node, cycle) pairs everywhere.
+    let program = sink_program();
+    let spec = TrafficSpec::new(13)
+        .pattern(TrafficPattern::Hotspot {
+            weight_ppm: 500_000,
+        })
+        .load(900_000)
+        .window(0, 300);
+    let obs = assert_equivalent("saturation", traffic_config(&program, spec), 100_000);
+    assert!(obs.outcome.is_ok(), "{:?}", obs.outcome);
+    let traffic = obs.stats.net.traffic;
+    assert!(
+        traffic.dropped_msgs > 0,
+        "saturating load never backpressured (offered {}, accepted {})",
+        traffic.offered_msgs,
+        traffic.accepted_msgs
+    );
+}
